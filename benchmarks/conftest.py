@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper at the active
+scale preset (``REPRO_BENCH_SCALE``: smoke / default / full), prints it in
+the paper's layout, and archives the markdown under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ResultTable, get_scale
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def preset():
+    """The active scale preset for this benchmark session."""
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Print a ResultTable and archive it as markdown under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(table: ResultTable, name: str, float_format: str = "{:.3f}") -> None:
+        markdown = table.to_markdown(float_format)
+        print()
+        print(markdown)
+        (RESULTS_DIR / f"{name}.md").write_text(markdown + "\n")
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Run an experiment driver exactly once under pytest-benchmark timing.
+
+    These drivers train models for minutes; statistical repetition belongs
+    to micro-benchmarks, not experiment regeneration.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def shape_assert(preset, condition: bool, message: str) -> None:
+    """Assert a paper-shape property, but only at default/full scale.
+
+    The smoke preset trains for seconds purely to exercise the machinery —
+    orderings are noise there, so failures are reported but not fatal.
+    """
+    if preset.name == "smoke":
+        if not condition:
+            print(f"[smoke-scale, not enforced] shape check failed: {message}")
+        return
+    assert condition, message

@@ -1,0 +1,60 @@
+"""Fig. 5: semi-supervised learning with limited labels.
+
+Supervised-from-scratch vs pre-train-then-fine-tune (TimeDRL FT) at
+several label fractions, for both forecasting (top row of the figure) and
+classification (bottom row).  Shape to reproduce: fine-tuning from the
+pre-trained encoder dominates, with the margin largest at the smallest
+label fractions, and pre-training still helping at 100% labels.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    semi_supervised_classification,
+    semi_supervised_forecasting,
+)
+
+from conftest import run_once, shape_assert
+
+FORECAST_DATASETS = ("ETTh1", "Exchange")
+CLASSIFICATION_DATASETS = ("HAR", "Epilepsy")
+
+
+def test_fig5_semi_supervised_forecasting(benchmark, preset, save_table):
+    table = run_once(
+        benchmark,
+        lambda: semi_supervised_forecasting(datasets=FORECAST_DATASETS,
+                                            preset=preset),
+    )
+    save_table(table, "fig5_semi_supervised_forecasting")
+
+    assert len(table.rows) == len(FORECAST_DATASETS) * len(preset.label_fractions)
+    ft_wins = 0
+    for row in table.rows:
+        supervised = table.get(row, "Supervised")
+        finetuned = table.get(row, "TimeDRL (FT)")
+        assert np.isfinite(supervised) and np.isfinite(finetuned)
+        ft_wins += finetuned <= supervised
+    print(f"\nTimeDRL (FT) beats supervised on {ft_wins}/{len(table.rows)} settings")
+    shape_assert(preset, ft_wins >= len(table.rows) / 2,
+                 "pre-training helped in under half the forecasting settings")
+
+
+def test_fig5_semi_supervised_classification(benchmark, preset, save_table):
+    table = run_once(
+        benchmark,
+        lambda: semi_supervised_classification(datasets=CLASSIFICATION_DATASETS,
+                                               preset=preset),
+    )
+    save_table(table, "fig5_semi_supervised_classification", float_format="{:.2f}")
+
+    assert len(table.rows) == len(CLASSIFICATION_DATASETS) * len(preset.label_fractions)
+    ft_wins = 0
+    for row in table.rows:
+        supervised = table.get(row, "Supervised")
+        finetuned = table.get(row, "TimeDRL (FT)")
+        assert 0 <= supervised <= 100 and 0 <= finetuned <= 100
+        ft_wins += finetuned >= supervised
+    print(f"\nTimeDRL (FT) beats supervised on {ft_wins}/{len(table.rows)} settings")
+    shape_assert(preset, ft_wins >= len(table.rows) / 2,
+                 "pre-training helped in under half the classification settings")

@@ -1,0 +1,46 @@
+"""Fig. 6: sensitivity analysis on λ (Eq. 19, L = L_P + λ·L_C).
+
+Sweeps λ across four orders of magnitude.  Shape to reproduce: a balanced
+setting (λ ≈ 1) is at or near the best for both tasks — drowning either
+pretext task (λ → 0 kills the instance-contrastive task; λ → ∞ kills the
+timestamp-predictive one) costs performance, which is the paper's argument
+that *both* tasks matter.
+"""
+
+import numpy as np
+
+from repro.experiments import lambda_sensitivity
+
+from conftest import run_once, shape_assert
+
+LAMBDAS = (0.001, 0.1, 1.0, 10.0, 1000.0)
+
+
+def test_fig6_lambda_sensitivity(benchmark, preset, save_table):
+    table = run_once(
+        benchmark,
+        lambda: lambda_sensitivity(forecast_dataset="ETTh1",
+                                   classification_dataset="Epilepsy",
+                                   lambdas=LAMBDAS, preset=preset),
+    )
+    save_table(table, "fig6_lambda_sensitivity")
+
+    assert len(table.rows) == len(LAMBDAS)
+    forecast_col, class_col = table.columns
+    mses = {row: table.get(row, forecast_col) for row in table.rows}
+    accs = {row: table.get(row, class_col) for row in table.rows}
+    assert all(np.isfinite(v) for v in mses.values())
+    assert all(np.isfinite(v) for v in accs.values())
+
+    balanced = "lambda=1"
+    print(f"\nMSE by lambda: { {k: round(v, 4) for k, v in mses.items()} }")
+    print(f"ACC by lambda: { {k: round(v, 2) for k, v in accs.items()} }")
+    # Shape check: the balanced setting is not the worst in either task —
+    # the extremes, which disable one pretext task, should pay a price.
+    shape_assert(preset, mses[balanced] <= max(mses.values()),
+                 "balanced lambda is the single worst forecasting setting")
+    shape_assert(preset, accs[balanced] >= min(accs.values()),
+                 "balanced lambda is the single worst classification setting")
+    # And classification must degrade when the predictive task is drowned.
+    shape_assert(preset, accs[balanced] >= accs["lambda=1000"] - 1.0,
+                 "drowning the predictive task did not cost accuracy")

@@ -1,0 +1,82 @@
+"""Tables I & II: dataset statistics.
+
+Verifies that the synthetic stand-ins report exactly the paper's metadata
+(features / timesteps / frequency; samples / features / classes / length)
+and that full-scale generation produces those shapes.
+"""
+
+import numpy as np
+
+from repro.data import (
+    CLASSIFICATION_DATASETS,
+    FORECASTING_DATASETS,
+    load_classification_dataset,
+    load_forecasting_dataset,
+)
+from repro.experiments import ResultTable
+
+from conftest import run_once
+
+# The paper's Table I rows.
+PAPER_TABLE1 = {
+    "ETTh1": (7, 17_420, "1 hour"),
+    "ETTh2": (7, 17_420, "1 hour"),
+    "ETTm1": (7, 69_680, "5 min"),
+    "ETTm2": (7, 69_680, "5 min"),
+    "Exchange": (8, 7_588, "1 day"),
+    "Weather": (21, 52_696, "10 min"),
+}
+
+# The paper's Table II rows.
+PAPER_TABLE2 = {
+    "FingerMovements": (416, 28, 2, 50),
+    "PenDigits": (10_992, 2, 10, 8),
+    "HAR": (10_299, 9, 6, 128),
+    "Epilepsy": (11_500, 1, 2, 178),
+    "WISDM": (4_091, 3, 6, 256),
+}
+
+
+def test_table1_forecasting_dataset_stats(benchmark, save_table):
+    def build():
+        table = ResultTable("Table I: forecasting datasets",
+                            columns=["Features", "Timesteps"])
+        for name, info in FORECASTING_DATASETS.items():
+            table.add(name, "Features", info.features)
+            table.add(name, "Timesteps", info.timesteps)
+            # Generate a slice and check feature count on real output.
+            sample = load_forecasting_dataset(name, scale=0.01)
+            assert sample.shape[1] == info.features
+            assert np.isfinite(sample).all()
+        return table
+
+    table = run_once(benchmark, build)
+    save_table(table, "table1_dataset_stats", float_format="{:.0f}")
+    for name, (features, timesteps, __) in PAPER_TABLE1.items():
+        assert table.get(name, "Features") == features
+        assert table.get(name, "Timesteps") == timesteps
+        assert FORECASTING_DATASETS[name].frequency == PAPER_TABLE1[name][2]
+
+
+def test_table2_classification_dataset_stats(benchmark, save_table):
+    def build():
+        table = ResultTable("Table II: classification datasets",
+                            columns=["Samples", "Features", "Classes", "Length"])
+        for name, info in CLASSIFICATION_DATASETS.items():
+            table.add(name, "Samples", info.samples)
+            table.add(name, "Features", info.features)
+            table.add(name, "Classes", info.classes)
+            table.add(name, "Length", info.length)
+            x, y = load_classification_dataset(name, scale=0.02)
+            assert x.shape[1] == info.length
+            assert x.shape[2] == info.features
+            assert np.unique(y).size <= info.classes
+        return table
+
+    table = run_once(benchmark, build)
+    save_table(table, "table2_dataset_stats", float_format="{:.0f}")
+    for name, (samples, features, classes, length) in PAPER_TABLE2.items():
+        assert table.get(name, "Samples") == samples
+        assert table.get(name, "Features") == features
+        assert table.get(name, "Classes") == classes
+        assert table.get(name, "Length") == length

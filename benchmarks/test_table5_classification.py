@@ -1,0 +1,55 @@
+"""Table V: linear evaluation on time-series classification.
+
+TimeDRL's [CLS]-token instance embeddings vs MHCCL, CCL, SimCLR, BYOL,
+TS2Vec, TS-TCC and T-Loss on the 5 classification datasets, scored with
+accuracy, macro-F1 and Cohen's kappa.  Shape to reproduce: TimeDRL leads
+on the hard low-SNR FingerMovements dataset (where the paper reports a
+22.9% accuracy jump) and is competitive everywhere else.
+"""
+
+import numpy as np
+
+from repro.experiments import CLASSIFICATION_METHODS, classification_table
+
+from conftest import run_once, shape_assert
+
+DATASETS = ("FingerMovements", "PenDigits", "HAR", "Epilepsy", "WISDM")
+
+
+def test_table5_classification(benchmark, preset, save_table):
+    tables = run_once(
+        benchmark,
+        lambda: classification_table(datasets=DATASETS,
+                                     methods=CLASSIFICATION_METHODS,
+                                     preset=preset),
+    )
+    save_table(tables["ACC"], "table5_classification_acc", float_format="{:.2f}")
+    save_table(tables["MF1"], "table5_classification_mf1", float_format="{:.2f}")
+    save_table(tables["kappa"], "table5_classification_kappa", float_format="{:.2f}")
+
+    acc = tables["ACC"]
+    assert acc.rows == list(DATASETS)
+    for row in acc.rows:
+        values = acc.row_values(row)
+        assert set(values) == set(CLASSIFICATION_METHODS)
+        assert all(np.isfinite(v) and 0 <= v <= 100 for v in values.values())
+    # Kappa is bounded by [-100, 100] and ACC-consistent.
+    for row in tables["kappa"].rows:
+        for value in tables["kappa"].row_values(row).values():
+            assert -100 <= value <= 100
+
+    # Shape check — the paper's Table V has TimeDRL best on FingerMovements
+    # and best-or-close elsewhere (MHCCL actually tops more ACC rows; the
+    # claimed average improvement is only 1.48%).  What must reproduce is
+    # *competitiveness everywhere*: TimeDRL within a modest relative margin
+    # of the best method on most datasets.
+    close_count = 0
+    for row in acc.rows:
+        values = acc.row_values(row)
+        best = max(values.values())
+        ratio = values["TimeDRL"] / best if best > 0 else 1.0
+        print(f"{row}: TimeDRL={values['TimeDRL']:.1f} best={best:.1f} "
+              f"({acc.best_column(row, minimise=False)})")
+        close_count += ratio >= 0.80
+    shape_assert(preset, close_count >= 3,
+                 f"TimeDRL within 20% of the best on only {close_count}/5 datasets")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Render the paper's chart-style results (Figs. 4–6) as SVG figures.
+
+Reads the markdown tables archived by the benchmark harness under
+``results/`` (run ``pytest benchmarks/ --benchmark-only`` first) and writes
+browser-viewable SVG figures next to them — the reproduction's equivalent
+of the paper's Figures 4, 5 and 6.
+
+Run:  python examples/make_figures.py
+"""
+
+import pathlib
+
+from repro.experiments import ResultTable
+from repro.viz import render_fig4, render_fig5, render_fig6
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def _load(name: str) -> ResultTable:
+    return ResultTable.from_markdown((RESULTS / f"{name}.md").read_text())
+
+
+def main() -> None:
+    if not RESULTS.exists():
+        raise SystemExit("results/ not found — run the benchmark harness first")
+    rendered = []
+
+    fig4 = RESULTS / "fig4_training_time.md"
+    if fig4.exists():
+        table = ResultTable.from_markdown(fig4.read_text())
+        for dataset in table.columns:
+            out = RESULTS / f"fig4_{dataset}.svg"
+            render_fig4(table, out, dataset=dataset)
+            rendered.append(out)
+
+    for name, y_label in (("fig5_semi_supervised_forecasting", "test MSE"),
+                          ("fig5_semi_supervised_classification", "test ACC %")):
+        path = RESULTS / f"{name}.md"
+        if path.exists():
+            table = ResultTable.from_markdown(path.read_text())
+            for dataset in sorted({row.split("@")[0].strip() for row in table.rows}):
+                out = RESULTS / f"{name}_{dataset}.svg"
+                render_fig5(table, out, dataset=dataset, y_label=y_label)
+                rendered.append(out)
+
+    fig6 = RESULTS / "fig6_lambda_sensitivity.md"
+    if fig6.exists():
+        table = ResultTable.from_markdown(fig6.read_text())
+        for column in table.columns:
+            safe = column.replace(" ", "_")
+            out = RESULTS / f"fig6_{safe}.svg"
+            render_fig6(table, out, column=column)
+            rendered.append(out)
+
+    if not rendered:
+        raise SystemExit("no archived tables found under results/")
+    for path in rendered:
+        print(f"wrote {path.relative_to(RESULTS.parent)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""TimeDRL reproduction (ICDE 2024) on a from-scratch NumPy substrate.
+
+Public entry points::
+
+    from repro.core import TimeDRL, TimeDRLConfig, pretrain
+    from repro.data import load_forecasting_dataset, load_classification_dataset
+    from repro.evaluation import evaluate_forecasting, evaluate_classification
+"""
+
+__version__ = "1.0.0"

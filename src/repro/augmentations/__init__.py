@@ -1,0 +1,119 @@
+"""Time-series data augmentations.
+
+TimeDRL itself uses *none* of these — avoiding augmentation-induced
+inductive bias is the paper's core design principle.  They exist for two
+reasons:
+
+1. the Table VI ablation, which shows every augmentation *hurts* TimeDRL;
+2. the contrastive baselines (SimCLR, BYOL, TS-TCC) that require augmented
+   views by construction.
+
+All functions operate on ``(batch, time, channels)`` float arrays and take
+an explicit ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "jitter",
+    "scaling",
+    "rotation",
+    "permutation",
+    "masking",
+    "cropping",
+    "AUGMENTATIONS",
+    "weak_augment",
+    "strong_augment",
+]
+
+
+def _check_input(x: np.ndarray) -> None:
+    if x.ndim != 3:
+        raise ValueError(f"augmentations expect (batch, time, channels), got {x.shape}")
+
+
+def jitter(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.1) -> np.ndarray:
+    """Additive Gaussian noise — simulates sensor noise (paper Table VI)."""
+    _check_input(x)
+    return (x + sigma * rng.standard_normal(x.shape)).astype(x.dtype)
+
+
+def scaling(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.2) -> np.ndarray:
+    """Multiply each (sample, channel) by a random scalar around 1."""
+    _check_input(x)
+    factors = 1.0 + sigma * rng.standard_normal((x.shape[0], 1, x.shape[2]))
+    return (x * factors).astype(x.dtype)
+
+
+def rotation(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Permute channel order and randomly flip signs (paper Table VI).
+
+    The most destructive augmentation for time-series: it was designed for
+    images and scrambles cross-channel semantics.
+    """
+    _check_input(x)
+    out = np.empty_like(x)
+    n_channels = x.shape[2]
+    for index in range(x.shape[0]):
+        order = rng.permutation(n_channels)
+        signs = rng.choice([-1.0, 1.0], size=n_channels)
+        out[index] = x[index][:, order] * signs[None, :]
+    return out
+
+
+def permutation(x: np.ndarray, rng: np.random.Generator, max_segments: int = 5) -> np.ndarray:
+    """Slice into segments and shuffle their order."""
+    _check_input(x)
+    out = np.empty_like(x)
+    length = x.shape[1]
+    for index in range(x.shape[0]):
+        n_segments = int(rng.integers(2, max_segments + 1))
+        n_segments = min(n_segments, length)
+        boundaries = np.sort(rng.choice(np.arange(1, length), size=n_segments - 1,
+                                        replace=False)) if n_segments > 1 else np.array([], dtype=int)
+        segments = np.split(x[index], boundaries)
+        order = rng.permutation(len(segments))
+        out[index] = np.concatenate([segments[i] for i in order], axis=0)
+    return out
+
+
+def masking(x: np.ndarray, rng: np.random.Generator, ratio: float = 0.15) -> np.ndarray:
+    """Zero random time steps (BERT-style masking, per sample & channel)."""
+    _check_input(x)
+    mask = rng.random(x.shape) >= ratio
+    return (x * mask).astype(x.dtype)
+
+
+def cropping(x: np.ndarray, rng: np.random.Generator, crop_ratio: float = 0.7) -> np.ndarray:
+    """Keep a random contiguous region, zero-fill both flanks so length is
+    preserved (paper Table VI definition)."""
+    _check_input(x)
+    out = np.zeros_like(x)
+    length = x.shape[1]
+    keep = max(int(length * crop_ratio), 1)
+    for index in range(x.shape[0]):
+        start = int(rng.integers(0, length - keep + 1))
+        out[index, start: start + keep] = x[index, start: start + keep]
+    return out
+
+
+AUGMENTATIONS = {
+    "jitter": jitter,
+    "scaling": scaling,
+    "rotation": rotation,
+    "permutation": permutation,
+    "masking": masking,
+    "cropping": cropping,
+}
+
+
+def weak_augment(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """TS-TCC's weak policy: jitter + scale."""
+    return scaling(jitter(x, rng, sigma=0.05), rng, sigma=0.1)
+
+
+def strong_augment(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """TS-TCC's strong policy: permutation + jitter."""
+    return jitter(permutation(x, rng, max_segments=5), rng, sigma=0.1)

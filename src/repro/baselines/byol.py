@@ -1,0 +1,82 @@
+"""BYOL baseline (Grill et al., NeurIPS 2020), adapted to time-series.
+
+Negative-free bootstrap: an *online* network (encoder + projector +
+predictor) learns to predict the projection of an exponential-moving-
+average *target* network on a differently-augmented view.  The target is
+updated after every optimizer step via the :meth:`post_step` hook.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..augmentations import jitter, scaling
+from ..nn import Tensor
+from ..nn import functional as F
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["BYOL"]
+
+
+class BYOL(SSLBaseline):
+    """BYOL: online network chases an EMA target network."""
+
+    name = "BYOL"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 projection_dim: int = 16, ema_decay: float = 0.99, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.ema_decay = ema_decay
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
+        self.projector = nn.Sequential(
+            nn.Linear(d_model, projection_dim, rng=rng), nn.ReLU(),
+            nn.Linear(projection_dim, projection_dim, rng=rng))
+        self.predictor = nn.Sequential(
+            nn.Linear(projection_dim, projection_dim, rng=rng), nn.ReLU(),
+            nn.Linear(projection_dim, projection_dim, rng=rng))
+        # Target network: structural copy, updated only via EMA.
+        self.target_encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth,
+                                          rng=np.random.default_rng(seed))
+        self.target_projector = nn.Sequential(
+            nn.Linear(d_model, projection_dim, rng=np.random.default_rng(seed + 1)),
+            nn.ReLU(),
+            nn.Linear(projection_dim, projection_dim, rng=np.random.default_rng(seed + 2)))
+        self._sync_target(decay=0.0)
+
+    # The online encoder is the representation used for probing.
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def parameters(self):
+        """Only online-network parameters are optimised; the target follows
+        by EMA."""
+        online = (self.encoder.parameters() + self.projector.parameters()
+                  + self.predictor.parameters())
+        return online
+
+    def _sync_target(self, decay: float) -> None:
+        pairs = [
+            (self.encoder, self.target_encoder),
+            (self.projector, self.target_projector),
+        ]
+        for online, target in pairs:
+            for (__, p_online), (__, p_target) in zip(online.named_parameters(),
+                                                      target.named_parameters()):
+                p_target.data[...] = decay * p_target.data + (1 - decay) * p_online.data
+
+    def post_step(self) -> None:
+        self._sync_target(self.ema_decay)
+
+    def _branch_loss(self, online_view: np.ndarray, target_view: np.ndarray) -> Tensor:
+        online = self.predictor(self.projector(self.encode(online_view).max(axis=1)))
+        with nn.no_grad():
+            target = self.target_projector(
+                self.target_encoder(Tensor(target_view)).max(axis=1))
+        return -F.cosine_similarity(online, Tensor(target.data), axis=-1).mean()
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        view1 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
+        view2 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
+        return self._branch_loss(view1, view2) + self._branch_loss(view2, view1)

@@ -1,0 +1,61 @@
+"""Lightweight k-means, the clustering substrate for MHCCL and CCL."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "assign_clusters"]
+
+
+def kmeans(points: np.ndarray, k: int, iters: int = 10,
+           rng: np.random.Generator | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++-style seeding.
+
+    Returns ``(centroids (k, D), assignments (N,))``.  Empty clusters are
+    re-seeded from the point farthest from its centroid.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    k = min(k, n)
+    rng = rng or np.random.default_rng()
+
+    # k-means++ seeding.
+    centroids = np.empty((k, points.shape[1]))
+    centroids[0] = points[rng.integers(n)]
+    closest_sq = _sq_distances(points, centroids[:1]).min(axis=1)
+    for index in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centroids[index] = points[rng.integers(n)]
+        else:
+            probabilities = closest_sq / total
+            centroids[index] = points[rng.choice(n, p=probabilities)]
+        closest_sq = np.minimum(
+            closest_sq, _sq_distances(points, centroids[index: index + 1])[:, 0])
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for __ in range(iters):
+        distances = _sq_distances(points, centroids)
+        assignments = distances.argmin(axis=1)
+        for cluster in range(k):
+            members = points[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+            else:  # re-seed an empty cluster at the worst-fit point
+                worst = distances.min(axis=1).argmax()
+                centroids[cluster] = points[worst]
+    return centroids.astype(np.float32), assignments
+
+
+def assign_clusters(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment for new points."""
+    return _sq_distances(np.asarray(points, dtype=np.float64),
+                         np.asarray(centroids, dtype=np.float64)).argmin(axis=1)
+
+
+def _sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    return ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)

@@ -1,0 +1,75 @@
+"""CoST baseline (Woo et al., ICLR 2022).
+
+Contrastive learning of disentangled Seasonal-Trend representations: a
+convolutional backbone feeds two contrastive objectives — one in the *time
+domain* (trend) and one in the *frequency domain* (seasonal), the latter
+computed on the discrete-Fourier amplitude spectrum of the per-timestep
+representations.
+
+Simplifications vs the released code: the time-domain loss contrasts
+whole-window (average-pooled) representations rather than MoCo-queue
+samples, and the frequency loss contrasts mean amplitude spectra; both
+domains and the augmented-view construction (scale + jitter) are as
+published.  The DFT is expressed as two matmuls with fixed cos/sin bases so
+gradients flow through the autograd engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..augmentations import jitter, scaling
+from ..nn import Tensor
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["CoST"]
+
+
+class CoST(SSLBaseline):
+    """CoST: time-domain (trend) + frequency-domain (seasonal) contrast."""
+
+    name = "CoST"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 freq_weight: float = 0.5, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.freq_weight = freq_weight
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
+        self._dft_cache: dict[int, tuple[Tensor, Tensor]] = {}
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def _dft_bases(self, length: int) -> tuple[Tensor, Tensor]:
+        if length not in self._dft_cache:
+            t = np.arange(length)[:, None]
+            freqs = np.arange(1, length // 2 + 1)[None, :]
+            angle = 2 * np.pi * t * freqs / length
+            self._dft_cache[length] = (
+                Tensor(np.cos(angle).astype(np.float32)),
+                Tensor(np.sin(angle).astype(np.float32)),
+            )
+        return self._dft_cache[length]
+
+    def _amplitude_spectrum(self, z: Tensor) -> Tensor:
+        """Mean DFT amplitude over frequencies: (B, T, D) -> (B, D)."""
+        cos_base, sin_base = self._dft_bases(z.shape[1])
+        z_cf = z.transpose(0, 2, 1)  # (B, D, T)
+        real = z_cf @ cos_base  # (B, D, F)
+        imag = z_cf @ sin_base
+        amplitude = (real * real + imag * imag + 1e-8).sqrt()
+        return amplitude.mean(axis=2)
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        view1 = jitter(scaling(x, rng, sigma=0.1), rng, sigma=0.05)
+        view2 = jitter(scaling(x, rng, sigma=0.1), rng, sigma=0.05)
+        z1 = self.encode(view1)
+        z2 = self.encode(view2)
+        # Trend: time-domain contrast of pooled representations.
+        trend = nn.nt_xent_loss(z1.mean(axis=1), z2.mean(axis=1))
+        # Seasonal: frequency-domain contrast of amplitude spectra.
+        seasonal = nn.nt_xent_loss(self._amplitude_spectrum(z1),
+                                   self._amplitude_spectrum(z2))
+        return trend + self.freq_weight * seasonal

@@ -1,0 +1,46 @@
+"""Informer-style end-to-end forecaster (Zhou et al., AAAI 2021).
+
+One of the paper's two end-to-end (non-SSL) forecasting baselines.
+
+Substitution note (see DESIGN.md): the published Informer's contributions —
+ProbSparse attention and distilling — exist to make attention *cheaper* at
+long sequence lengths.  At this reproduction's window lengths full
+attention is exact and affordable, so the model here is a Transformer
+encoder with full attention plus Informer's one-shot linear generative
+decoder.  Relative accuracy against representation-learning methods (what
+Table III measures) is preserved; wall-clock asymptotics are not exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .base import EndToEndForecaster
+
+__all__ = ["InformerForecaster"]
+
+
+class InformerForecaster(EndToEndForecaster):
+    """Transformer encoder + one-shot linear decoder, trained end-to-end."""
+
+    name = "Informer"
+
+    def __init__(self, in_channels: int, seq_len: int, pred_len: int,
+                 d_model: int = 32, num_heads: int = 4, num_layers: int = 2,
+                 dropout: float = 0.1, seed: int = 0):
+        super().__init__(pred_len)
+        rng = np.random.default_rng(seed)
+        self.in_channels = in_channels
+        self.embed = nn.Linear(in_channels, d_model, rng=rng)
+        self.positional = nn.LearnablePositionalEncoding(seq_len, d_model, rng=rng)
+        self.encoder = nn.TransformerEncoder(d_model, num_heads, num_layers,
+                                             dropout=dropout, rng=rng)
+        self.head = nn.Linear(d_model, pred_len * in_channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.encoder(self.positional(self.embed(x)))
+        summary = hidden.mean(axis=1)  # generative-style one-shot decoding
+        out = self.head(summary)
+        return out.reshape(x.shape[0], self.pred_len, self.in_channels)

@@ -1,0 +1,48 @@
+"""SimCLR baseline (Chen et al., ICML 2020), adapted to time-series.
+
+Two augmented views of each sample (jitter + scaling, the standard
+time-series policy) are pushed together while every other sample in the
+mini-batch serves as a negative, via the NT-Xent loss on a projection
+head's outputs.  Probing uses the encoder output (projection head dropped),
+as in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..augmentations import jitter, scaling
+from ..nn import Tensor
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["SimCLR"]
+
+
+class SimCLR(SSLBaseline):
+    """SimCLR: augmented-view NT-Xent contrast with in-batch negatives."""
+
+    name = "SimCLR"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 projection_dim: int = 16, temperature: float = 0.5, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.temperature = temperature
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
+        self.projector = nn.Sequential(
+            nn.Linear(d_model, d_model, rng=rng),
+            nn.ReLU(),
+            nn.Linear(d_model, projection_dim, rng=rng),
+        )
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        view1 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
+        view2 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
+        h1 = self.encode(view1).max(axis=1)
+        h2 = self.encode(view2).max(axis=1)
+        return nn.nt_xent_loss(self.projector(h1), self.projector(h2),
+                               temperature=self.temperature)

@@ -1,0 +1,56 @@
+"""SimTS baseline (Zheng et al., 2023).
+
+Predicts the *future in latent space from the past*: the window is split at
+its midpoint; a predictor maps the last past representation to the future
+representations, which are aligned with negative cosine similarity under a
+stop-gradient on the future branch (no negative pairs, no augmentation
+assumptions) — the design the TimeDRL paper singles out as its strongest
+forecasting baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["SimTS"]
+
+
+class SimTS(SSLBaseline):
+    """SimTS: latent past-to-future prediction with stop-gradient."""
+
+    name = "SimTS"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth,
+                                   causal=True, rng=rng)
+        # Predictor: last past latent -> future latents (shared across steps).
+        self.predictor = nn.Sequential(
+            nn.Linear(d_model, d_model * 2, rng=rng),
+            nn.ReLU(),
+            nn.Linear(d_model * 2, d_model, rng=rng),
+        )
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        length = x.shape[1]
+        if length < 4:
+            raise ValueError("SimTS needs windows of at least 4 steps")
+        split = length // 2
+        z_past = self.encode(x[:, :split])  # causal: last step summarises history
+        z_future = self.encode(x[:, split:])
+        summary = z_past[:, -1, :]
+        predicted = self.predictor(summary)  # (B, D)
+        # Align the prediction with every future latent (stop-gradient on
+        # the future branch, as in SimTS/SimSiam).
+        future = z_future.mean(axis=1).stop_gradient()
+        return -F.cosine_similarity(predicted, future, axis=-1).mean()

@@ -1,0 +1,38 @@
+"""TCN end-to-end forecaster (Bai et al., 2018).
+
+The paper's second end-to-end baseline: dilated causal convolutions with
+residual connections; the representation at the final timestep feeds a
+linear head that emits the whole horizon at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .base import EndToEndForecaster
+
+__all__ = ["TCNForecaster"]
+
+
+class TCNForecaster(EndToEndForecaster):
+    """Causal TCN + linear horizon head, trained end-to-end."""
+
+    name = "TCN"
+
+    def __init__(self, in_channels: int, pred_len: int, d_model: int = 32,
+                 depth: int = 3, kernel_size: int = 3, dropout: float = 0.1,
+                 seed: int = 0):
+        super().__init__(pred_len)
+        rng = np.random.default_rng(seed)
+        self.in_channels = in_channels
+        self.tcn = nn.TCN(in_channels, [d_model] * depth, kernel_size=kernel_size,
+                          dropout=dropout, rng=rng)
+        self.head = nn.Linear(d_model, pred_len * in_channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        features = self.tcn(x.transpose(0, 2, 1))  # (B, D, L)
+        last = features[:, :, -1]  # causal summary of the whole window
+        out = self.head(last)
+        return out.reshape(x.shape[0], self.pred_len, self.in_channels)

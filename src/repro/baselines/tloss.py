@@ -1,0 +1,66 @@
+"""T-Loss baseline (Franceschi et al., NeurIPS 2019).
+
+Unsupervised scalable representation learning with a triplet loss and
+*time-based negative sampling*: the anchor is a random subseries, the
+positive a subseries *contained in* the anchor, and the negatives are
+subseries drawn from other samples of the batch.  The encoder is a causal
+dilated CNN whose instance representation is a max-pool over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["TLoss"]
+
+
+class TLoss(SSLBaseline):
+    """T-Loss: triplet objective with time-based negative sampling."""
+
+    name = "T-Loss"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 n_negatives: int = 4, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        if n_negatives < 1:
+            raise ValueError("n_negatives must be >= 1")
+        self.n_negatives = n_negatives
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth,
+                                   causal=True, rng=rng)
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def _embed_subseries(self, x: np.ndarray, starts: np.ndarray,
+                         length: int) -> Tensor:
+        spans = np.stack([x[i, s: s + length] for i, s in enumerate(starts)])
+        return self.encode(spans).max(axis=1)
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        batch, length, __ = x.shape
+        if batch < 2:
+            raise ValueError("T-Loss needs at least 2 samples per batch for negatives")
+        anchor_len = max(length // 2, 2)
+        positive_len = max(anchor_len // 2, 1)
+        anchor_starts = rng.integers(0, length - anchor_len + 1, size=batch)
+        # Positive: contained in the anchor span.
+        offset = rng.integers(0, anchor_len - positive_len + 1, size=batch)
+        positive_starts = anchor_starts + offset
+
+        anchors = self._embed_subseries(x, anchor_starts, anchor_len)
+        positives = self._embed_subseries(x, positive_starts, positive_len)
+
+        negative_embeddings = []
+        for __ in range(self.n_negatives):
+            # Negatives come from *other* samples (time-based sampling).
+            shuffle = (np.arange(batch) + int(rng.integers(1, batch))) % batch
+            neg_starts = rng.integers(0, length - positive_len + 1, size=batch)
+            negative_embeddings.append(
+                self._embed_subseries(x[shuffle], neg_starts, positive_len))
+        negatives = nn.stack(negative_embeddings, axis=1)  # (B, K, D)
+        return nn.triplet_loss(anchors, positives, negatives)

@@ -1,0 +1,80 @@
+"""TNC baseline (Tonekaboni et al., ICLR 2021).
+
+Temporal Neighborhood Coding: representations of temporally-close windows
+should be distinguishable from distant ones.  A bilinear discriminator is
+trained to classify (anchor, neighbour) pairs as positive and (anchor,
+distant) pairs as negative, with Positive-Unlabeled weighting to soften the
+distant pairs (which may in truth be similar — the sampling-bias problem
+the TimeDRL paper sidesteps by dropping negatives entirely).
+
+Simplification vs the released code: the neighbourhood radius is a fixed
+fraction of the window instead of being chosen per-dataset with the ADF
+test; the PU weighting and bilinear discriminator are as published.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["TNC"]
+
+
+class TNC(SSLBaseline):
+    """TNC: neighbourhood discrimination with PU learning."""
+
+    name = "TNC"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 subwindow: int = 16, pu_weight: float = 0.2, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        if subwindow < 2:
+            raise ValueError("subwindow must be >= 2")
+        self.subwindow = subwindow
+        self.pu_weight = pu_weight
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
+        self.discriminator = nn.Parameter(
+            (rng.standard_normal((d_model, d_model)) * 0.05).astype(np.float32))
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def _embed_span(self, x: np.ndarray, starts: np.ndarray) -> Tensor:
+        """Encode the subwindow starting at ``starts[i]`` for each sample."""
+        spans = np.stack([x[i, s: s + self.subwindow] for i, s in enumerate(starts)])
+        return self.encode(spans).mean(axis=1)
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        batch, length, __ = x.shape
+        w = min(self.subwindow, max(length // 4, 2))
+        self_subwindow = self.subwindow
+        self.subwindow = w  # adapt to short windows
+        try:
+            radius = max(w // 2, 1)
+            anchor_starts = rng.integers(radius, max(length - w - radius, radius + 1),
+                                         size=batch)
+            neighbour_starts = np.clip(
+                anchor_starts + rng.integers(-radius, radius + 1, size=batch),
+                0, length - w)
+            distant_starts = (anchor_starts + length // 2) % (length - w + 1)
+
+            anchors = self._embed_span(x, anchor_starts)
+            neighbours = self._embed_span(x, neighbour_starts)
+            distants = self._embed_span(x, distant_starts)
+
+            pos_logits = ((anchors @ self.discriminator) * neighbours).sum(axis=-1)
+            neg_logits = ((anchors @ self.discriminator) * distants).sum(axis=-1)
+            ones = np.ones(batch, dtype=np.float32)
+            positive_term = nn.binary_cross_entropy_with_logits(pos_logits, ones)
+            # PU learning: distant pairs are *unlabeled* — treat them as
+            # negative with weight (1-w) and positive with weight w.
+            unlabeled_neg = nn.binary_cross_entropy_with_logits(neg_logits, ones * 0.0)
+            unlabeled_pos = nn.binary_cross_entropy_with_logits(neg_logits, ones)
+            return positive_term + (1 - self.pu_weight) * unlabeled_neg \
+                + self.pu_weight * unlabeled_pos
+        finally:
+            self.subwindow = self_subwindow

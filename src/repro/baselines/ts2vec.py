@@ -1,0 +1,48 @@
+"""TS2Vec baseline (Yue et al., AAAI 2022).
+
+The first "universal" time-series representation framework and the paper's
+main point of comparison in both tables.  A dilated convolutional encoder
+is trained with the hierarchical contrastive loss: instance-wise and
+temporal contrast computed at multiple time scales (max-pooling between
+levels).  Views are created with *random timestamp masking* — one of the
+augmentations whose inductive bias TimeDRL's Table VI quantifies.
+
+Simplification vs the released code: views come from input-level binomial
+masking of the whole window rather than overlapping random crops; the
+hierarchical loss and encoder family are as published.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..augmentations import masking
+from ..nn import Tensor
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["TS2Vec"]
+
+
+class TS2Vec(SSLBaseline):
+    """TS2Vec: hierarchical contrastive learning over masked views."""
+
+    name = "TS2Vec"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 mask_ratio: float = 0.15, alpha: float = 0.5, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.mask_ratio = mask_ratio
+        self.alpha = alpha
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        view1 = masking(x, rng, ratio=self.mask_ratio)
+        view2 = masking(x, rng, ratio=self.mask_ratio)
+        z1 = self.encode(view1)
+        z2 = self.encode(view2)
+        return nn.hierarchical_contrastive_loss(z1, z2, alpha=self.alpha, max_depth=4)

@@ -1,0 +1,70 @@
+"""TS-TCC baseline (Eldele et al., IJCAI 2021).
+
+Time-Series representation learning via Temporal and Contextual
+Contrasting: a *weak* (jitter + scale) and a *strong* (permutation +
+jitter) augmented view are encoded; a **temporal contrasting** head
+predicts each view's future representations from the *other* view's past
+context (cross-view prediction), and a **contextual contrasting** NT-Xent
+pulls the two context vectors of the same sample together.
+
+Simplification vs the released code: the autoregressive context is a mean
+over the past half (the released code uses a Transformer AR module); the
+cross-view prediction and both loss terms are as published.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..augmentations import strong_augment, weak_augment
+from ..nn import Tensor
+from ..nn import functional as F
+from .base import ConvEncoder, SSLBaseline
+
+__all__ = ["TSTCC"]
+
+
+class TSTCC(SSLBaseline):
+    """TS-TCC: cross-view temporal prediction + contextual NT-Xent."""
+
+    name = "TS-TCC"
+
+    def __init__(self, in_channels: int, d_model: int = 32, depth: int = 3,
+                 context_weight: float = 1.0, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.context_weight = context_weight
+        self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
+        self.future_predictor = nn.Linear(d_model, d_model, rng=rng)
+        self.context_projector = nn.Sequential(
+            nn.Linear(d_model, d_model, rng=rng), nn.ReLU(),
+            nn.Linear(d_model, d_model // 2, rng=rng))
+
+    def encode(self, x: np.ndarray) -> Tensor:
+        return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
+
+    @staticmethod
+    def _context_and_future(z: Tensor) -> tuple[Tensor, Tensor]:
+        split = max(z.shape[1] // 2, 1)
+        context = z[:, :split, :].mean(axis=1)
+        future = z[:, split:, :].mean(axis=1)
+        return context, future
+
+    def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
+        z_weak = self.encode(weak_augment(x, rng))
+        z_strong = self.encode(strong_augment(x, rng))
+        c_weak, f_weak = self._context_and_future(z_weak)
+        c_strong, f_strong = self._context_and_future(z_strong)
+        # Temporal contrasting: each view's context predicts the *other*
+        # view's future representation.
+        temporal = (
+            -F.cosine_similarity(self.future_predictor(c_weak),
+                                 f_strong.stop_gradient(), axis=-1).mean()
+            - F.cosine_similarity(self.future_predictor(c_strong),
+                                  f_weak.stop_gradient(), axis=-1).mean()
+        )
+        # Contextual contrasting: NT-Xent between the two contexts.
+        contextual = nn.nt_xent_loss(self.context_projector(c_weak),
+                                     self.context_projector(c_strong))
+        return temporal + self.context_weight * contextual

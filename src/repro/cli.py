@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate any paper table/figure directly.
+
+Examples::
+
+    python -m repro table3 --datasets ETTh1 Exchange --scale smoke
+    python -m repro table5 --scale default --output results/
+    python -m repro fig6 --scale smoke
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .experiments import (
+    augmentation_ablation,
+    backbone_ablation,
+    classification_table,
+    forecasting_table,
+    get_scale,
+    lambda_sensitivity,
+    pooling_ablation,
+    semi_supervised_classification,
+    semi_supervised_forecasting,
+    stop_gradient_ablation,
+    training_time_table,
+)
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+_FORECAST_DATASETS = ("ETTh1", "ETTh2", "ETTm1", "ETTm2", "Exchange", "Weather")
+_CLASS_DATASETS = ("FingerMovements", "PenDigits", "HAR", "Epilepsy", "WISDM")
+
+
+def _run_table3(args, preset):
+    return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
+                             univariate=False, preset=preset, seed=args.seed)
+
+
+def _run_table4(args, preset):
+    return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
+                             univariate=True, preset=preset, seed=args.seed)
+
+
+def _run_table5(args, preset):
+    return classification_table(datasets=tuple(args.datasets or _CLASS_DATASETS),
+                                preset=preset, seed=args.seed)
+
+
+def _run_table6(args, preset):
+    return augmentation_ablation(datasets=tuple(args.datasets or ("ETTh1", "Exchange")),
+                                 preset=preset, seed=args.seed)
+
+
+def _run_table7(args, preset):
+    return pooling_ablation(datasets=tuple(args.datasets or ("FingerMovements", "Epilepsy")),
+                            preset=preset, seed=args.seed)
+
+
+def _run_table8(args, preset):
+    return backbone_ablation(datasets=tuple(args.datasets or ("ETTh1", "Exchange")),
+                             preset=preset, seed=args.seed)
+
+
+def _run_table9(args, preset):
+    return stop_gradient_ablation(
+        datasets=tuple(args.datasets or ("FingerMovements", "Epilepsy")),
+        preset=preset, seed=args.seed)
+
+
+def _run_fig4(args, preset):
+    return training_time_table(datasets=tuple(args.datasets or ("ETTh1", "Exchange")),
+                               preset=preset, seed=args.seed)
+
+
+def _run_fig5(args, preset):
+    return {
+        "forecasting": semi_supervised_forecasting(
+            datasets=tuple(args.datasets or ("ETTh1",)), preset=preset, seed=args.seed),
+        "classification": semi_supervised_classification(
+            datasets=("Epilepsy",), preset=preset, seed=args.seed),
+    }
+
+
+def _run_fig6(args, preset):
+    return lambda_sensitivity(preset=preset, seed=args.seed)
+
+
+EXPERIMENTS = {
+    "table3": (_run_table3, "Table III: multivariate forecasting linear evaluation"),
+    "table4": (_run_table4, "Table IV: univariate forecasting linear evaluation"),
+    "table5": (_run_table5, "Table V: classification linear evaluation"),
+    "table6": (_run_table6, "Table VI: data-augmentation ablation"),
+    "table7": (_run_table7, "Table VII: pooling-method ablation"),
+    "table8": (_run_table8, "Table VIII: backbone-encoder ablation"),
+    "table9": (_run_table9, "Table IX: stop-gradient ablation"),
+    "fig4": (_run_fig4, "Fig. 4: pre-training wall-clock comparison"),
+    "fig5": (_run_fig5, "Fig. 5: semi-supervised learning curves"),
+    "fig6": (_run_fig6, "Fig. 6: lambda sensitivity"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the TimeDRL paper (ICDE 2024).")
+    sub = parser.add_subparsers(dest="experiment", required=True)
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(experiment="list")
+    for name, (__, description) in EXPERIMENTS.items():
+        exp = sub.add_parser(name, help=description)
+        exp.add_argument("--scale", choices=("smoke", "default", "full"),
+                         default=None, help="scale preset (default: env or 'default')")
+        exp.add_argument("--datasets", nargs="*", default=None,
+                         help="override the experiment's dataset list")
+        exp.add_argument("--seed", type=int, default=0)
+        exp.add_argument("--output", type=pathlib.Path, default=None,
+                         help="directory to write markdown tables into")
+    return parser
+
+
+def _emit(result, name: str, output: pathlib.Path | None) -> None:
+    tables = result if isinstance(result, dict) else {"": result}
+    for key, table in tables.items():
+        table.print()
+        if output is not None:
+            output.mkdir(parents=True, exist_ok=True)
+            suffix = f"_{key.lower()}" if key else ""
+            path = output / f"{name}{suffix}.md"
+            path.write_text(table.to_markdown() + "\n")
+            print(f"wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (__, description) in EXPERIMENTS.items():
+            print(f"{name:8} {description}")
+        return 0
+    runner, __ = EXPERIMENTS[args.experiment]
+    preset = get_scale(args.scale)
+    print(f"running {args.experiment} at scale {preset.name!r}")
+    result = runner(args, preset)
+    _emit(result, args.experiment, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

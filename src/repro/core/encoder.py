@@ -1,0 +1,129 @@
+"""The TimeDRL encoder f_θ (paper Section IV-A, Eq. 2–5).
+
+Pipeline: patch tokens -> prepend learnable [CLS] token -> linear token
+encoding W_token -> learnable positional encoding PE -> backbone ->
+``z ∈ R^{(1+T_p) × D}``; ``z_i = z[0]`` (instance level), ``z_t = z[1:]``
+(timestamp level).
+
+The backbone is pluggable to support the Table VIII ablation: Transformer
+encoder (default), causal Transformer ("decoder"), 1-D ResNet, TCN, LSTM,
+GRU and Bi-LSTM all consume and produce ``(N, 1+T_p, D)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from . import patching
+from .config import TimeDRLConfig
+
+__all__ = ["TimeDRLEncoder", "build_backbone"]
+
+
+class _ConvBackboneAdapter(nn.Module):
+    """Wrap a channels-first conv net so it fits the (N, T, D) interface."""
+
+    def __init__(self, net: nn.Module):
+        super().__init__()
+        self.net = net
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x.transpose(0, 2, 1)).transpose(0, 2, 1)
+
+
+def build_backbone(config: TimeDRLConfig, rng: np.random.Generator) -> nn.Module:
+    """Instantiate the configured backbone; all variants map
+    ``(N, T, d_model)`` to ``(N, T, d_model)``."""
+    d = config.d_model
+    if config.backbone == "transformer":
+        return nn.TransformerEncoder(d, config.num_heads, config.num_layers,
+                                     d_ff=config.d_ff, dropout=config.dropout, rng=rng)
+    if config.backbone == "transformer_decoder":
+        return nn.TransformerEncoder(d, config.num_heads, config.num_layers,
+                                     d_ff=config.d_ff, dropout=config.dropout,
+                                     causal=True, rng=rng)
+    if config.backbone == "resnet":
+        return _ConvBackboneAdapter(nn.ResNet1d(d, [d] * config.num_layers, rng=rng))
+    if config.backbone == "tcn":
+        return _ConvBackboneAdapter(
+            nn.TCN(d, [d] * config.num_layers, dropout=config.dropout, rng=rng))
+    if config.backbone == "lstm":
+        return nn.LSTM(d, d, rng=rng)
+    if config.backbone == "gru":
+        return nn.GRU(d, d, rng=rng)
+    if config.backbone == "bilstm":
+        return nn.BiLSTM(d, d, rng=rng)
+    raise ValueError(f"unknown backbone {config.backbone!r}")
+
+
+class TimeDRLEncoder(nn.Module):
+    """f_θ: patched input plus [CLS] token to dual-level embeddings.
+
+    ``forward`` takes *already patched* data ``(N, T_p, C·P)`` (a plain
+    ndarray or Tensor) and returns the full embedding ``z (N, 1+T_p, D)``.
+    Use :meth:`split` to separate ``z_i`` and ``z_t``.
+    """
+
+    def __init__(self, config: TimeDRLConfig):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.cls_token = nn.Parameter(
+            (rng.standard_normal(config.token_dim) * 0.02).astype(np.float32))
+        self.token_encoding = nn.Linear(config.token_dim, config.d_model, rng=rng)
+        self.positional_encoding = nn.LearnablePositionalEncoding(
+            1 + config.num_patches, config.d_model, rng=rng)
+        self.input_dropout = nn.Dropout(config.dropout, rng=rng)
+        self.backbone = build_backbone(config, rng)
+
+    def forward(self, x_patched) -> Tensor:
+        x_patched = nn.as_tensor(x_patched)
+        if x_patched.ndim != 3:
+            raise ValueError(f"expected (N, T_p, C*P), got shape {x_patched.shape}")
+        n = x_patched.shape[0]
+        if x_patched.shape[2] != self.config.token_dim:
+            raise ValueError(
+                f"token width {x_patched.shape[2]} != configured C*P = {self.config.token_dim}"
+            )
+        # Eq. 2: prepend the [CLS] token.
+        cls_tokens = self.cls_token.reshape(1, 1, -1) * Tensor(
+            np.ones((n, 1, 1), dtype=np.float32))
+        with_cls = nn.concatenate([cls_tokens, x_patched], axis=1)
+        # Eq. 3: token encoding + positional encoding + backbone.
+        encoded = self.token_encoding(with_cls)
+        encoded = self.positional_encoding(encoded)
+        encoded = self.input_dropout(encoded)
+        return self.backbone(encoded)
+
+    def split(self, z: Tensor) -> tuple[Tensor, Tensor]:
+        """Eq. 4–5: ``z_i = z[0]``, ``z_t = z[1:]`` (per batch element)."""
+        return z[:, 0, :], z[:, 1:, :]
+
+    def encode_series(self, x: np.ndarray, training: bool = False
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Convenience: raw series ``(B, T, C)`` to ``(z_i, z_t)`` ndarrays.
+
+        Applies the full Eq. 1 pipeline (instance norm + patching +
+        channel-independence if configured).  Gradients are not recorded.
+        """
+        was_training = self.training
+        self.train(training)
+        try:
+            x_patched = self.prepare_input(x)
+            with nn.no_grad():
+                z = self.forward(x_patched)
+                z_i, z_t = self.split(z)
+            return z_i.data, z_t.data
+        finally:
+            self.train(was_training)
+
+    def prepare_input(self, x: np.ndarray) -> np.ndarray:
+        """Eq. 1: instance-norm, optional channel-independence, patching."""
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, C) series, got {x.shape}")
+        normed = patching.instance_norm(x)
+        if self.config.channel_independence:
+            normed = patching.to_channel_independent(normed)
+        return patching.patchify(normed, self.config.patch_len, self.config.stride)

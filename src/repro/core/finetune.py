@@ -1,0 +1,273 @@
+"""Downstream protocols (paper Fig. 3b).
+
+* **Linear evaluation** — freeze the pre-trained encoder, train only a
+  linear layer on top (Tables III–V).  Forecasting probes are fit in closed
+  form (ridge regression — exact minimiser of the MSE objective a linear
+  layer would be trained toward); classification probes are a softmax
+  linear layer trained with AdamW.
+* **Fine-tuning** — unfreeze the encoder and train it jointly with the
+  task head on (a fraction of) the labelled data (the semi-supervised
+  protocol of Fig. 5, 'TimeDRL (FT)').
+* **Supervised baseline** — the identical architecture trained from random
+  initialisation on the labelled fraction only (Fig. 5 'Supervised').
+
+Forecasting heads predict the *instance-normalised* future and results are
+de-normalised with the input window's statistics (RevIN-style), matching
+the paper's use of instance normalisation + PatchTST conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ClassificationData, ForecastingData, ForecastingWindows
+from ..data.loader import batch_indices
+from ..evaluation import metrics
+from ..evaluation.classification import linear_probe_classification
+from ..evaluation.forecasting import RidgeProbe, collect_forecast_features, ridge_probe_forecasting
+from ..nn import Tensor
+from .model import TimeDRL
+from .pooling import instance_dim
+
+__all__ = [
+    "ForecastResult",
+    "ClassificationResult",
+    "RidgeRegressor",
+    "extract_forecast_features",
+    "extract_instance_features",
+    "linear_evaluate_forecasting",
+    "linear_evaluate_classification",
+    "fine_tune_forecasting",
+    "fine_tune_classification",
+    "ForecastHead",
+]
+
+_EPS = 1e-5
+_CHUNK = 256  # feature-extraction batch size (memory bound, not compute)
+
+
+@dataclass
+class ForecastResult:
+    """Forecasting metrics in the dataset's scaled space."""
+
+    mse: float
+    mae: float
+
+
+@dataclass
+class ClassificationResult:
+    """Classification metrics as percentages (paper Table V convention)."""
+
+    accuracy: float
+    macro_f1: float
+    kappa: float
+
+
+# Alias kept for API symmetry with the evaluation package.
+RidgeRegressor = RidgeProbe
+
+
+def _window_stats(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-window, per-channel mean/std of the input (for de-normalising)."""
+    mean = x.mean(axis=1, keepdims=True)
+    std = x.std(axis=1, keepdims=True) + _EPS
+    return mean, std
+
+
+def timedrl_forecast_features(model: TimeDRL):
+    """Feature function for the generic forecasting probe: flattened z_t,
+    per channel under channel-independence."""
+
+    def features_fn(x: np.ndarray) -> np.ndarray:
+        z_t = model.timestamp_embeddings(x)  # CI: (B*C, T_p, D); else (B, T_p, D)
+        if model.config.channel_independence:
+            batch, channels = x.shape[0], x.shape[2]
+            return z_t.reshape(batch, channels, -1)
+        return z_t.reshape(x.shape[0], -1)
+
+    return features_fn
+
+
+def extract_forecast_features(model: TimeDRL, windows: ForecastingWindows,
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Frozen-encoder features for every window of a split.
+
+    Returns ``(features, targets_norm, means, stds)``; features are
+    ``(N, C, T_p·D)`` under channel independence, else ``(N, T_p·D)``.
+    """
+    return collect_forecast_features(timedrl_forecast_features(model), windows)
+
+
+def extract_instance_features(model: TimeDRL, x: np.ndarray) -> np.ndarray:
+    """Frozen-encoder pooled instance embeddings for samples ``(N, T, C)``."""
+    chunks = [model.instance_embeddings(x[s: s + _CHUNK])
+              for s in range(0, len(x), _CHUNK)]
+    return np.concatenate(chunks)
+
+
+def linear_evaluate_forecasting(model: TimeDRL, data: ForecastingData,
+                                alpha: float = 1.0) -> ForecastResult:
+    """Tables III–IV protocol: frozen encoder + linear head, test metrics."""
+    scores = ridge_probe_forecasting(timedrl_forecast_features(model), data, alpha)
+    return ForecastResult(mse=scores.mse, mae=scores.mae)
+
+
+def linear_evaluate_classification(model: TimeDRL, data: ClassificationData,
+                                   epochs: int = 100, lr: float = 1e-2,
+                                   seed: int = 0) -> ClassificationResult:
+    """Table V protocol: frozen encoder + softmax linear probe."""
+    scores = linear_probe_classification(model.instance_embeddings, data,
+                                         epochs=epochs, lr=lr, seed=seed)
+    return ClassificationResult(accuracy=scores.accuracy, macro_f1=scores.macro_f1,
+                                kappa=scores.kappa)
+
+
+# ----------------------------------------------------------------------
+# Fine-tuning (semi-supervised protocol, Fig. 5)
+# ----------------------------------------------------------------------
+class ForecastHead(nn.Module):
+    """Linear head mapping flattened timestamp embeddings to the horizon."""
+
+    def __init__(self, in_features: int, horizon: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.proj = nn.Linear(in_features, horizon, rng=rng)
+
+    def forward(self, z_t_flat: Tensor) -> Tensor:
+        return self.proj(z_t_flat)
+
+
+def _label_subset(n: int, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    if not 0 < fraction <= 1:
+        raise ValueError("label fraction must be in (0, 1]")
+    count = max(int(round(n * fraction)), 2)
+    return rng.choice(n, size=min(count, n), replace=False)
+
+
+def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
+                          label_fraction: float = 1.0, epochs: int = 5,
+                          batch_size: int = 32, lr: float = 1e-3,
+                          encoder_lr_scale: float = 0.1,
+                          seed: int = 0) -> ForecastResult:
+    """Fig. 5 'TimeDRL (FT)': encoder + head trained on labelled windows.
+
+    The encoder learns at ``lr * encoder_lr_scale`` — the usual fine-tuning
+    discipline that protects pre-trained weights while the fresh head
+    catches up.  Pass a freshly initialised (un-pretrained) model to obtain
+    the 'Supervised' curve (same schedule, so the comparison is fair).
+    """
+    rng = np.random.default_rng(seed)
+    config = model.config
+    flat_width = config.num_patches * config.d_model
+    head = ForecastHead(flat_width, data.pred_len, rng=rng)
+    model.train()
+    params = model.encoder.parameters() + head.parameters()
+    optimizer = nn.AdamW(head.parameters(), lr=lr, weight_decay=1e-3)
+    encoder_optimizer = nn.AdamW(model.encoder.parameters(),
+                                 lr=lr * encoder_lr_scale, weight_decay=1e-3)
+    labelled = _label_subset(len(data.train), label_fraction, rng)
+
+    for __ in range(epochs):
+        for batch in batch_indices(len(labelled), batch_size, rng):
+            indices = labelled[batch]
+            x, y = data.train.batch(indices)
+            mean, std = _window_stats(x)
+            target_norm = (y - mean) / std
+            x_patched = model.encoder.prepare_input(x)
+            optimizer.zero_grad()
+            encoder_optimizer.zero_grad()
+            z = model.encoder(x_patched)
+            __, z_t = model.encoder.split(z)
+            if config.channel_independence:
+                batch_n, channels = x.shape[0], x.shape[2]
+                flat = z_t.reshape(batch_n * channels, flat_width)
+                pred = head(flat).reshape(batch_n, channels, data.pred_len)
+                pred = pred.transpose(0, 2, 1)
+            else:
+                pred = head(z_t.reshape(x.shape[0], flat_width))
+                pred = pred.reshape(x.shape[0], data.pred_len, -1)
+                if pred.shape[2] == 1 and target_norm.shape[2] > 1:
+                    raise ValueError("channel-mixing head horizon mismatch")
+            loss = nn.mse_loss(pred, Tensor(target_norm))
+            loss.backward()
+            nn.clip_grad_norm(params, 5.0)
+            optimizer.step()
+            encoder_optimizer.step()
+
+    model.eval()
+    preds, truth = [], []
+    for start in range(0, len(data.test), _CHUNK):
+        indices = np.arange(start, min(start + _CHUNK, len(data.test)))
+        x, y = data.test.batch(indices)
+        mean, std = _window_stats(x)
+        x_patched = model.encoder.prepare_input(x)
+        with nn.no_grad():
+            z = model.encoder(x_patched)
+            __, z_t = model.encoder.split(z)
+            if config.channel_independence:
+                batch_n, channels = x.shape[0], x.shape[2]
+                flat = z_t.reshape(batch_n * channels, flat_width)
+                pred = head(flat).data.reshape(batch_n, channels, data.pred_len)
+                pred = pred.transpose(0, 2, 1)
+            else:
+                pred = head(z_t.reshape(x.shape[0], flat_width)).data
+                pred = pred.reshape(x.shape[0], data.pred_len, -1)
+        preds.append(pred * std + mean)
+        truth.append(y)
+    y_pred = np.concatenate(preds)
+    y_true = np.concatenate(truth)
+    return ForecastResult(mse=metrics.mse(y_true, y_pred), mae=metrics.mae(y_true, y_pred))
+
+
+def fine_tune_classification(model: TimeDRL, data: ClassificationData,
+                             label_fraction: float = 1.0, epochs: int = 10,
+                             batch_size: int = 32, lr: float = 1e-3,
+                             encoder_lr_scale: float = 0.1,
+                             seed: int = 0) -> ClassificationResult:
+    """Fig. 5 classification fine-tuning; see :func:`fine_tune_forecasting`."""
+    rng = np.random.default_rng(seed)
+    config = model.config
+    width = instance_dim(config.pooling, config.d_model, config.num_patches)
+    head = nn.Linear(width, data.n_classes, rng=rng)
+    model.train()
+    params = model.encoder.parameters() + head.parameters()
+    optimizer = nn.AdamW(head.parameters(), lr=lr, weight_decay=1e-3)
+    encoder_optimizer = nn.AdamW(model.encoder.parameters(),
+                                 lr=lr * encoder_lr_scale, weight_decay=1e-3)
+    labelled = _label_subset(len(data.x_train), label_fraction, rng)
+
+    from .pooling import pool_instance
+
+    for __ in range(epochs):
+        for batch in batch_indices(len(labelled), batch_size, rng):
+            indices = labelled[batch]
+            x, y = data.x_train[indices], data.y_train[indices]
+            x_patched = model.encoder.prepare_input(x)
+            optimizer.zero_grad()
+            encoder_optimizer.zero_grad()
+            z = model.encoder(x_patched)
+            z_i, z_t = model.encoder.split(z)
+            pooled = pool_instance(z_i, z_t, config.pooling)
+            loss = nn.cross_entropy(head(pooled), y)
+            loss.backward()
+            nn.clip_grad_norm(params, 5.0)
+            optimizer.step()
+            encoder_optimizer.step()
+
+    model.eval()
+    logit_chunks = []
+    for start in range(0, len(data.x_test), _CHUNK):
+        x = data.x_test[start: start + _CHUNK]
+        x_patched = model.encoder.prepare_input(x)
+        with nn.no_grad():
+            z = model.encoder(x_patched)
+            z_i, z_t = model.encoder.split(z)
+            pooled = pool_instance(z_i, z_t, config.pooling)
+            logit_chunks.append(head(pooled).data)
+    predictions = np.concatenate(logit_chunks).argmax(axis=1)
+    report = metrics.classification_report(data.y_test, predictions)
+    return ClassificationResult(accuracy=report["ACC"], macro_f1=report["MF1"],
+                                kappa=report["kappa"])

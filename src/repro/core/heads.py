@@ -1,0 +1,50 @@
+"""Pretext-task heads (paper Sections IV-B and IV-C).
+
+* :class:`TimestampPredictiveHead` — p_θ, "a linear layer without an
+  activation function", reconstructing the patched input from z_t.
+* :class:`InstanceContrastiveHead` — c_θ, "a two-layer bottleneck MLP with
+  BatchNorm and ReLU in the middle", the asymmetric predictor of the
+  SimSiam-style negative-free contrastive task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["TimestampPredictiveHead", "InstanceContrastiveHead"]
+
+
+class TimestampPredictiveHead(nn.Module):
+    """p_θ: D -> C·P linear reconstruction head (Eq. 6)."""
+
+    def __init__(self, d_model: int, token_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.proj = nn.Linear(d_model, token_dim, rng=rng)
+
+    def forward(self, z_t: Tensor) -> Tensor:
+        return self.proj(z_t)
+
+
+class InstanceContrastiveHead(nn.Module):
+    """c_θ: D -> D bottleneck MLP (Eq. 14–15).
+
+    Layout: Linear(D, D/r) -> BatchNorm -> ReLU -> Linear(D/r, D).  The
+    bottleneck ratio follows SimSiam's predictor design.
+    """
+
+    def __init__(self, d_model: int, bottleneck_ratio: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        hidden = max(d_model // bottleneck_ratio, 1)
+        self.net = nn.Sequential(
+            nn.Linear(d_model, hidden, rng=rng),
+            nn.BatchNorm1d(hidden),
+            nn.ReLU(),
+            nn.Linear(hidden, d_model, rng=rng),
+        )
+
+    def forward(self, z_i: Tensor) -> Tensor:
+        return self.net(z_i)

@@ -1,0 +1,86 @@
+"""Instance normalisation and patching (paper Eq. 1).
+
+``x_patched = patching(IN(x))`` — instance normalisation removes per-sample
+distribution shift (RevIN without the learnable affine); patching
+aggregates ``patch_len`` adjacent steps into one token, cutting the
+Transformer context window from T to T_p (PatchTST).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["instance_norm", "patchify", "unpatchify", "to_channel_independent",
+           "from_channel_independent", "num_patches"]
+
+
+def instance_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Normalise each sample's channels over its own time axis.
+
+    ``x``: (batch, time, channels).
+    """
+    if x.ndim != 3:
+        raise ValueError(f"expected (batch, time, channels), got {x.shape}")
+    mean = x.mean(axis=1, keepdims=True)
+    std = x.std(axis=1, keepdims=True)
+    return ((x - mean) / (std + eps)).astype(np.float32)
+
+
+def num_patches(seq_len: int, patch_len: int, stride: int) -> int:
+    """T_p for the given patching geometry."""
+    if seq_len < patch_len:
+        raise ValueError("seq_len must be >= patch_len")
+    return (seq_len - patch_len) // stride + 1
+
+
+def patchify(x: np.ndarray, patch_len: int, stride: int) -> np.ndarray:
+    """Slice ``(B, T, C)`` into patch tokens ``(B, T_p, C*patch_len)``.
+
+    Within one token, layout is channel-major: token = concat over channels
+    of that channel's ``patch_len`` consecutive values.  Trailing steps that
+    do not fill a whole patch are dropped (standard PatchTST behaviour).
+    """
+    if x.ndim != 3:
+        raise ValueError(f"expected (batch, time, channels), got {x.shape}")
+    batch, seq_len, channels = x.shape
+    t_p = num_patches(seq_len, patch_len, stride)
+    starts = np.arange(t_p) * stride
+    grid = starts[:, None] + np.arange(patch_len)[None, :]  # (T_p, P)
+    patches = x[:, grid, :]  # (B, T_p, P, C)
+    patches = patches.transpose(0, 1, 3, 2)  # (B, T_p, C, P): channel-major
+    return patches.reshape(batch, t_p, channels * patch_len)
+
+
+def unpatchify(patches: np.ndarray, channels: int, patch_len: int,
+               stride: int | None = None) -> np.ndarray:
+    """Invert :func:`patchify` for non-overlapping patches (stride == P).
+
+    Used by examples/diagnostics to view reconstructions in signal space.
+    """
+    stride = stride if stride is not None else patch_len
+    if stride != patch_len:
+        raise ValueError("unpatchify only supports non-overlapping patches")
+    batch, t_p, width = patches.shape
+    if width != channels * patch_len:
+        raise ValueError("patch width does not match channels * patch_len")
+    tokens = patches.reshape(batch, t_p, channels, patch_len)
+    return tokens.transpose(0, 1, 3, 2).reshape(batch, t_p * patch_len, channels)
+
+
+def to_channel_independent(x: np.ndarray) -> np.ndarray:
+    """PatchTST channel-independence: ``(B, T, C)`` -> ``(B*C, T, 1)``.
+
+    Every channel becomes its own univariate series processed by shared
+    weights — the paper uses this for forecasting but not classification.
+    """
+    batch, seq_len, channels = x.shape
+    return x.transpose(0, 2, 1).reshape(batch * channels, seq_len, 1)
+
+
+def from_channel_independent(x: np.ndarray, channels: int) -> np.ndarray:
+    """Invert :func:`to_channel_independent`: ``(B*C, T, 1)`` -> ``(B, T, C)``."""
+    total, seq_len, __ = x.shape
+    if total % channels:
+        raise ValueError("batch axis not divisible by channel count")
+    batch = total // channels
+    return x.reshape(batch, channels, seq_len).transpose(0, 2, 1)

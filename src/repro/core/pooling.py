@@ -1,0 +1,48 @@
+"""Instance-embedding extraction strategies (paper Table VII ablation).
+
+TimeDRL's contribution is the dedicated, *disentangled* [CLS] token; the
+alternatives below derive the instance embedding from the timestamp-level
+embeddings instead and are provided for the pooling ablation:
+
+* ``cls``  — the [CLS] token (TimeDRL default),
+* ``last`` — last timestamp embedding,
+* ``gap``  — global average pooling over time,
+* ``all``  — flatten all timestamp embeddings.
+"""
+
+from __future__ import annotations
+
+from ..nn import Tensor
+
+__all__ = ["pool_instance", "instance_dim"]
+
+
+def pool_instance(z_i: Tensor, z_t: Tensor, method: str) -> Tensor:
+    """Produce the instance-level representation per ``method``.
+
+    Parameters
+    ----------
+    z_i:
+        The [CLS] embedding ``(N, D)``.
+    z_t:
+        Timestamp embeddings ``(N, T_p, D)``.
+    """
+    if method == "cls":
+        return z_i
+    if method == "last":
+        return z_t[:, -1, :]
+    if method == "gap":
+        return z_t.mean(axis=1)
+    if method == "all":
+        n, t, d = z_t.shape
+        return z_t.reshape(n, t * d)
+    raise ValueError(f"unknown pooling method {method!r}")
+
+
+def instance_dim(method: str, d_model: int, num_patches: int) -> int:
+    """Width of the pooled instance embedding for downstream heads."""
+    if method in ("cls", "last", "gap"):
+        return d_model
+    if method == "all":
+        return d_model * num_patches
+    raise ValueError(f"unknown pooling method {method!r}")

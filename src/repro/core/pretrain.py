@@ -1,0 +1,109 @@
+"""Self-supervised pre-training loop (paper Fig. 3a).
+
+Works for both task families:
+
+* forecasting — batches are sliding input windows (targets unused);
+* classification — batches are whole labelled samples (labels unused).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.datasets import ForecastingWindows
+from ..data.loader import batch_indices
+from .config import PretrainConfig, TimeDRLConfig
+from .model import TimeDRL
+
+__all__ = ["PretrainResult", "pretrain", "iterate_pretrain_batches"]
+
+
+@dataclass
+class PretrainResult:
+    """Artifacts of a pre-training run."""
+
+    model: TimeDRL
+    history: list[dict[str, float]] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1]["total"] if self.history else float("nan")
+
+
+def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
+                             max_batches: int | None = None):
+    """Yield raw input batches ``(B, T, C)`` from either a
+    :class:`ForecastingWindows` split or a plain sample array."""
+    if isinstance(data, ForecastingWindows):
+        count = 0
+        for indices in batch_indices(len(data), batch_size, rng):
+            x, __ = data.batch(indices)
+            yield x
+            count += 1
+            if max_batches is not None and count >= max_batches:
+                return
+    else:
+        samples = np.asarray(data)
+        count = 0
+        for indices in batch_indices(len(samples), batch_size, rng):
+            yield samples[indices]
+            count += 1
+            if max_batches is not None and count >= max_batches:
+                return
+
+
+def pretrain(model_config: TimeDRLConfig, data,
+             train_config: PretrainConfig | None = None) -> PretrainResult:
+    """Pre-train a :class:`TimeDRL` model on unlabeled data.
+
+    Parameters
+    ----------
+    data:
+        Either a :class:`ForecastingWindows` (forecasting) or an ndarray of
+        samples ``(N, T, C)`` (classification).  Labels are never consumed.
+
+    Returns
+    -------
+    PretrainResult with the trained model and per-epoch loss history.
+    """
+    train_config = train_config or PretrainConfig()
+    model = TimeDRL(model_config)
+    model.train()
+    optimizer = nn.AdamW(model.parameters(), lr=train_config.learning_rate,
+                         weight_decay=train_config.weight_decay)
+    rng = np.random.default_rng(train_config.seed)
+    history: list[dict[str, float]] = []
+
+    start = time.perf_counter()
+    for epoch in range(train_config.epochs):
+        sums = {"total": 0.0, "predictive": 0.0, "contrastive": 0.0}
+        batches = 0
+        for x in iterate_pretrain_batches(data, train_config.batch_size, rng,
+                                          train_config.max_batches_per_epoch):
+            optimizer.zero_grad()
+            losses = model.pretraining_losses(x)
+            losses["total"].backward()
+            if train_config.grad_clip:
+                nn.clip_grad_norm(model.parameters(), train_config.grad_clip)
+            optimizer.step()
+            for key in sums:
+                sums[key] += float(losses[key].data)
+            batches += 1
+        if batches == 0:
+            raise ValueError("pre-training data yielded no batches")
+        epoch_stats = {key: value / batches for key, value in sums.items()}
+        epoch_stats["epoch"] = float(epoch)
+        history.append(epoch_stats)
+        if train_config.verbose:
+            print(f"[pretrain] epoch {epoch}: "
+                  f"total={epoch_stats['total']:.4f} "
+                  f"P={epoch_stats['predictive']:.4f} "
+                  f"C={epoch_stats['contrastive']:.4f}")
+    elapsed = time.perf_counter() - start
+    model.eval()
+    return PretrainResult(model=model, history=history, wall_clock_seconds=elapsed)

@@ -1,0 +1,74 @@
+"""Cross-dataset transfer evaluation (toward the paper's future work).
+
+The conclusion sketches TimeDRL "toward a more comprehensive foundation
+model"; the natural first measurement is *transfer*: pre-train the encoder
+on one dataset, probe it frozen on another.  This module implements that
+protocol for forecasting, where channel independence makes encoders
+dataset-agnostic (every channel is a univariate series, so feature counts
+need not match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.datasets import ForecastingData
+from ..evaluation.forecasting import ridge_probe_forecasting
+from .config import PretrainConfig, TimeDRLConfig
+from .finetune import timedrl_forecast_features
+from .model import TimeDRL
+from .pretrain import pretrain
+
+__all__ = ["TransferResult", "transfer_forecasting"]
+
+
+@dataclass
+class TransferResult:
+    """Transfer vs in-domain comparison on the target dataset."""
+
+    transfer_mse: float       # pre-trained on source, probed on target
+    in_domain_mse: float      # pre-trained on target, probed on target
+    random_mse: float         # random frozen encoder, probed on target
+
+    @property
+    def transfer_gap(self) -> float:
+        """How much of the in-domain advantage transfer retains: 0 means
+        transfer equals a random encoder, 1 means it matches in-domain."""
+        spread = self.random_mse - self.in_domain_mse
+        if abs(spread) < 1e-12:
+            return 1.0
+        return float((self.random_mse - self.transfer_mse) / spread)
+
+
+def transfer_forecasting(source: ForecastingData, target: ForecastingData,
+                         config: TimeDRLConfig,
+                         train_config: PretrainConfig | None = None,
+                         alpha: float = 1.0) -> TransferResult:
+    """Pre-train on ``source``, evaluate the frozen encoder on ``target``.
+
+    ``config`` must use ``channel_independence=True`` so the encoder is
+    agnostic to the feature counts of the two datasets.
+    """
+    if not config.channel_independence:
+        raise ValueError("transfer requires channel_independence=True "
+                         "(the encoder must be feature-count agnostic)")
+    if source.seq_len != target.seq_len:
+        raise ValueError("source and target must share seq_len")
+    train_config = train_config or PretrainConfig()
+
+    source_model = pretrain(config, source.train, train_config).model
+    transfer_mse = ridge_probe_forecasting(
+        timedrl_forecast_features(source_model), target, alpha).mse
+
+    target_model = pretrain(config, target.train, train_config).model
+    in_domain_mse = ridge_probe_forecasting(
+        timedrl_forecast_features(target_model), target, alpha).mse
+
+    random_model = TimeDRL(config)
+    random_model.eval()
+    random_mse = ridge_probe_forecasting(
+        timedrl_forecast_features(random_model), target, alpha).mse
+
+    return TransferResult(transfer_mse=transfer_mse,
+                          in_domain_mse=in_domain_mse,
+                          random_mse=random_mse)

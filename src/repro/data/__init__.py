@@ -1,0 +1,45 @@
+"""``repro.data`` — dataset substrate.
+
+Seeded synthetic stand-ins for the paper's 11 public benchmarks (no network
+in this environment; see DESIGN.md for the substitution rationale), plus
+windowing, splits, scaling and batch iteration.
+"""
+
+from .datasets import (
+    ClassificationData,
+    ForecastingData,
+    ForecastingWindows,
+    chronological_split,
+    make_classification_data,
+    make_forecasting_data,
+    stratified_split,
+)
+from .io import (
+    load_classification_npz,
+    load_forecasting_csv,
+    save_classification_npz,
+    save_forecasting_csv,
+)
+from .loader import DataLoader, batch_indices
+from .registry import (
+    CLASSIFICATION_DATASETS,
+    FORECASTING_DATASETS,
+    ClassificationDatasetInfo,
+    ForecastingDatasetInfo,
+    load_classification_dataset,
+    load_forecasting_dataset,
+)
+from .scaler import StandardScaler
+
+__all__ = [
+    "ClassificationData", "ForecastingData", "ForecastingWindows",
+    "chronological_split", "stratified_split",
+    "make_classification_data", "make_forecasting_data",
+    "DataLoader", "batch_indices",
+    "load_forecasting_csv", "save_forecasting_csv",
+    "load_classification_npz", "save_classification_npz",
+    "StandardScaler",
+    "FORECASTING_DATASETS", "CLASSIFICATION_DATASETS",
+    "ForecastingDatasetInfo", "ClassificationDatasetInfo",
+    "load_forecasting_dataset", "load_classification_dataset",
+]

@@ -1,0 +1,167 @@
+"""Dataset containers: sliding-window forecasting sets and classification
+sets, with the paper's 60/20/20 chronological split protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scaler import StandardScaler
+
+__all__ = [
+    "ForecastingWindows",
+    "ForecastingData",
+    "ClassificationData",
+    "make_forecasting_data",
+    "make_classification_data",
+    "chronological_split",
+    "stratified_split",
+]
+
+
+def chronological_split(length: int, train: float = 0.6, val: float = 0.2
+                        ) -> tuple[slice, slice, slice]:
+    """60/20/20 split along time (paper Section V: 'We partition the dataset
+    into three segments: 60% for training, 20% for validation, 20% for
+    testing')."""
+    if not 0 < train < 1 or not 0 <= val < 1 or train + val >= 1:
+        raise ValueError("invalid split fractions")
+    train_end = int(length * train)
+    val_end = int(length * (train + val))
+    return slice(0, train_end), slice(train_end, val_end), slice(val_end, length)
+
+
+def stratified_split(labels: np.ndarray, train: float = 0.6, val: float = 0.2,
+                     seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class shuffled 60/20/20 index split for classification sets."""
+    rng = np.random.default_rng(seed)
+    train_idx, val_idx, test_idx = [], [], []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        n_train = max(int(len(members) * train), 1)
+        n_val = max(int(len(members) * val), 1)
+        train_idx.append(members[:n_train])
+        val_idx.append(members[n_train:n_train + n_val])
+        test_idx.append(members[n_train + n_val:])
+    return (np.concatenate(train_idx), np.concatenate(val_idx),
+            np.concatenate(test_idx))
+
+
+class ForecastingWindows:
+    """Sliding (input, horizon) windows over a scaled series.
+
+    Windows are materialised lazily by index to keep memory flat on long
+    series.
+    """
+
+    def __init__(self, series: np.ndarray, seq_len: int, pred_len: int, stride: int = 1):
+        if series.ndim != 2:
+            raise ValueError("series must be (timesteps, features)")
+        if seq_len < 1 or pred_len < 0 or stride < 1:
+            raise ValueError("seq_len >= 1, pred_len >= 0, stride >= 1 required")
+        total = seq_len + pred_len
+        if len(series) < total:
+            raise ValueError(
+                f"series of length {len(series)} too short for seq_len+pred_len={total}"
+            )
+        self.series = series
+        self.seq_len = seq_len
+        self.pred_len = pred_len
+        self.stride = stride
+        self._starts = np.arange(0, len(series) - total + 1, stride)
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        start = self._starts[index]
+        x = self.series[start: start + self.seq_len]
+        y = self.series[start + self.seq_len: start + self.seq_len + self.pred_len]
+        return x, y
+
+    def batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather a batch of windows: ``x (B, L, C)``, ``y (B, H, C)``."""
+        xs = np.stack([self.series[s: s + self.seq_len] for s in self._starts[indices]])
+        ys = np.stack([
+            self.series[s + self.seq_len: s + self.seq_len + self.pred_len]
+            for s in self._starts[indices]
+        ])
+        return xs, ys
+
+
+@dataclass
+class ForecastingData:
+    """A forecasting benchmark instance: scaled splits plus window views."""
+
+    train: ForecastingWindows
+    val: ForecastingWindows
+    test: ForecastingWindows
+    scaler: StandardScaler
+    seq_len: int
+    pred_len: int
+    n_features: int
+
+
+def make_forecasting_data(series: np.ndarray, seq_len: int, pred_len: int,
+                          stride: int = 1, univariate_target: int | None = None
+                          ) -> ForecastingData:
+    """Split chronologically, scale on train only, and build window views.
+
+    ``univariate_target`` selects a single column (the paper's univariate
+    protocol keeps only the target feature).
+    """
+    if univariate_target is not None:
+        series = series[:, [univariate_target]]
+    train_slice, val_slice, test_slice = chronological_split(len(series))
+    scaler = StandardScaler().fit(series[train_slice])
+    scaled = scaler.transform(series)
+    return ForecastingData(
+        train=ForecastingWindows(scaled[train_slice], seq_len, pred_len, stride),
+        val=ForecastingWindows(scaled[val_slice], seq_len, pred_len, stride),
+        test=ForecastingWindows(scaled[test_slice], seq_len, pred_len, stride),
+        scaler=scaler,
+        seq_len=seq_len,
+        pred_len=pred_len,
+        n_features=series.shape[-1],
+    )
+
+
+@dataclass
+class ClassificationData:
+    """A classification benchmark instance with stratified splits."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+    @property
+    def length(self) -> int:
+        return self.x_train.shape[1]
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[2]
+
+
+def make_classification_data(x: np.ndarray, y: np.ndarray, seed: int = 0
+                             ) -> ClassificationData:
+    """Stratified 60/20/20 split; features scaled with train statistics."""
+    if x.ndim != 3:
+        raise ValueError("x must be (samples, length, features)")
+    if len(x) != len(y):
+        raise ValueError("x and y length mismatch")
+    train_idx, val_idx, test_idx = stratified_split(y, seed=seed)
+    scaler = StandardScaler().fit(x[train_idx])
+    return ClassificationData(
+        x_train=scaler.transform(x[train_idx]), y_train=y[train_idx],
+        x_val=scaler.transform(x[val_idx]), y_val=y[val_idx],
+        x_test=scaler.transform(x[test_idx]), y_test=y[test_idx],
+        n_classes=int(np.unique(y).size),
+    )

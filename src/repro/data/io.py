@@ -1,0 +1,100 @@
+"""Dataset file I/O: plug real benchmark CSVs into the same pipelines.
+
+The reproduction environment has no network access, so the library ships
+synthetic stand-ins — but the code is written for the real datasets too.
+When a user has the actual files (ETTh1.csv from the Informer release, the
+UEA/UCR classification archives, …), these loaders feed them into exactly
+the same windowing/split/probe machinery:
+
+* :func:`load_forecasting_csv` — Informer-convention CSV (a ``date``
+  column followed by feature columns) to a ``(T, C)`` float array;
+* :func:`save_forecasting_csv` — inverse, for exporting synthetic data;
+* :func:`load_classification_npz` / :func:`save_classification_npz` —
+  ``(x, y)`` sample archives in NumPy's portable ``.npz`` format.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+import numpy as np
+
+__all__ = [
+    "load_forecasting_csv",
+    "save_forecasting_csv",
+    "load_classification_npz",
+    "save_classification_npz",
+]
+
+
+def load_forecasting_csv(path, date_column: str = "date") -> tuple[np.ndarray, list[str]]:
+    """Read an Informer-style CSV into ``(series (T, C), feature_names)``.
+
+    The date column (if present) is dropped; every other column must parse
+    as float.  Rows with any unparsable cell raise, naming the offender —
+    silent coercion of real benchmark data would poison results.
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        keep = [i for i, name in enumerate(header) if name != date_column]
+        if not keep:
+            raise ValueError(f"{path} has no feature columns")
+        names = [header[i] for i in keep]
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                rows.append([float(row[i]) for i in keep])
+            except (ValueError, IndexError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: unparsable row ({error})") from None
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+    return np.asarray(rows, dtype=np.float32), names
+
+
+def save_forecasting_csv(path, series: np.ndarray,
+                         feature_names: list[str] | None = None,
+                         date_column: str = "date") -> None:
+    """Write ``(T, C)`` data in the Informer CSV convention (synthetic
+    index timestamps)."""
+    series = np.asarray(series)
+    if series.ndim != 2:
+        raise ValueError("series must be (timesteps, features)")
+    names = feature_names or [f"f{i}" for i in range(series.shape[1])]
+    if len(names) != series.shape[1]:
+        raise ValueError("feature_names length mismatch")
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([date_column] + names)
+        for index, row in enumerate(series):
+            writer.writerow([index] + [f"{value:.6f}" for value in row])
+
+
+def load_classification_npz(path) -> tuple[np.ndarray, np.ndarray]:
+    """Read ``(x (N, T, C), y (N,))`` from an ``.npz`` archive."""
+    with np.load(path) as archive:
+        missing = {"x", "y"} - set(archive.files)
+        if missing:
+            raise ValueError(f"{path} missing arrays: {sorted(missing)}")
+        x = archive["x"].astype(np.float32)
+        y = archive["y"].astype(np.int64)
+    if x.ndim != 3:
+        raise ValueError(f"x must be (samples, length, channels), got {x.shape}")
+    if len(x) != len(y):
+        raise ValueError("x and y length mismatch")
+    return x, y
+
+
+def save_classification_npz(path, x: np.ndarray, y: np.ndarray) -> None:
+    """Write a classification dataset as a portable ``.npz`` archive."""
+    x, y = np.asarray(x), np.asarray(y)
+    if x.ndim != 3 or len(x) != len(y):
+        raise ValueError("expected x (N, T, C) and matching y (N,)")
+    np.savez_compressed(path, x=x.astype(np.float32), y=y.astype(np.int64))

@@ -1,0 +1,62 @@
+"""Minimal batch iterator (the substrate's DataLoader)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["batch_indices", "DataLoader"]
+
+
+def batch_indices(n: int, batch_size: int, rng: np.random.Generator | None = None,
+                  shuffle: bool = True, drop_last: bool = False) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = np.arange(n)
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        batch = order[start: start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            return
+        yield batch
+
+
+class DataLoader:
+    """Iterate ``(x, y)`` mini-batches over an indexable dataset.
+
+    Works with :class:`~repro.data.datasets.ForecastingWindows` (via its
+    ``batch`` method) or with plain ``(x, y)`` array pairs.
+    """
+
+    def __init__(self, data, batch_size: int = 32, shuffle: bool = True,
+                 seed: int = 0, drop_last: bool = False):
+        self.data = data
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = self._size()
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def _size(self) -> int:
+        if isinstance(self.data, tuple):
+            return len(self.data[0])
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for indices in batch_indices(self._size(), self.batch_size, self._rng,
+                                     shuffle=self.shuffle, drop_last=self.drop_last):
+            if isinstance(self.data, tuple):
+                x, y = self.data
+                yield x[indices], y[indices]
+            else:
+                yield self.data.batch(indices)

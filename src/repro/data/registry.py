@@ -1,0 +1,153 @@
+"""Dataset registry: named access to every benchmark dataset with the
+paper's metadata (Tables I and II) attached.
+
+``load_forecasting_dataset`` / ``load_classification_dataset`` accept a
+``scale`` argument so tests and CPU benchmarks can run on shorter series
+while keeping every statistical property of the full-size generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import synthetic
+
+__all__ = [
+    "ForecastingDatasetInfo",
+    "ClassificationDatasetInfo",
+    "FORECASTING_DATASETS",
+    "CLASSIFICATION_DATASETS",
+    "load_forecasting_dataset",
+    "load_classification_dataset",
+]
+
+
+@dataclass(frozen=True)
+class ForecastingDatasetInfo:
+    """Metadata row of the paper's Table I."""
+
+    name: str
+    features: int
+    timesteps: int
+    frequency: str
+    univariate_target: int  # column index used for univariate forecasting
+    generator: Callable[..., np.ndarray]
+
+
+@dataclass(frozen=True)
+class ClassificationDatasetInfo:
+    """Metadata row of the paper's Table II."""
+
+    name: str
+    samples: int
+    features: int
+    classes: int
+    length: int
+    generator: Callable[..., tuple[np.ndarray, np.ndarray]]
+
+
+FORECASTING_DATASETS: dict[str, ForecastingDatasetInfo] = {
+    "ETTh1": ForecastingDatasetInfo(
+        "ETTh1", features=7, timesteps=17_420, frequency="1 hour",
+        univariate_target=-1,
+        generator=lambda length, seed: synthetic.generate_ett(
+            length, steps_per_day=24, seed=seed, variant=1),
+    ),
+    "ETTh2": ForecastingDatasetInfo(
+        "ETTh2", features=7, timesteps=17_420, frequency="1 hour",
+        univariate_target=-1,
+        generator=lambda length, seed: synthetic.generate_ett(
+            length, steps_per_day=24, seed=seed, variant=2),
+    ),
+    "ETTm1": ForecastingDatasetInfo(
+        "ETTm1", features=7, timesteps=69_680, frequency="5 min",
+        univariate_target=-1,
+        generator=lambda length, seed: synthetic.generate_ett(
+            length, steps_per_day=96, seed=seed, variant=3),
+    ),
+    "ETTm2": ForecastingDatasetInfo(
+        "ETTm2", features=7, timesteps=69_680, frequency="5 min",
+        univariate_target=-1,
+        generator=lambda length, seed: synthetic.generate_ett(
+            length, steps_per_day=96, seed=seed, variant=4),
+    ),
+    "Exchange": ForecastingDatasetInfo(
+        "Exchange", features=8, timesteps=7_588, frequency="1 day",
+        univariate_target=-1,  # Singapore
+        generator=lambda length, seed: synthetic.generate_exchange(length, seed=seed),
+    ),
+    "Weather": ForecastingDatasetInfo(
+        "Weather", features=21, timesteps=52_696, frequency="10 min",
+        univariate_target=-1,  # wet bulb
+        generator=lambda length, seed: synthetic.generate_weather(length, seed=seed),
+    ),
+}
+
+
+CLASSIFICATION_DATASETS: dict[str, ClassificationDatasetInfo] = {
+    "FingerMovements": ClassificationDatasetInfo(
+        "FingerMovements", samples=416, features=28, classes=2, length=50,
+        generator=synthetic.generate_finger_movements,
+    ),
+    "PenDigits": ClassificationDatasetInfo(
+        "PenDigits", samples=10_992, features=2, classes=10, length=8,
+        generator=synthetic.generate_pendigits,
+    ),
+    "HAR": ClassificationDatasetInfo(
+        "HAR", samples=10_299, features=9, classes=6, length=128,
+        generator=synthetic.generate_har,
+    ),
+    "Epilepsy": ClassificationDatasetInfo(
+        "Epilepsy", samples=11_500, features=1, classes=2, length=178,
+        generator=synthetic.generate_epilepsy,
+    ),
+    "WISDM": ClassificationDatasetInfo(
+        "WISDM", samples=4_091, features=3, classes=6, length=256,
+        generator=synthetic.generate_wisdm,
+    ),
+}
+
+
+def load_forecasting_dataset(name: str, scale: float = 1.0, seed: int = 0) -> np.ndarray:
+    """Generate a forecasting dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`FORECASTING_DATASETS`.
+    scale:
+        Fraction of the paper's full length to generate (``scale=1.0``
+        reproduces the Table I time-step counts exactly).
+    """
+    info = _lookup(FORECASTING_DATASETS, name)
+    length = max(int(info.timesteps * scale), 64)
+    data = info.generator(length, seed)
+    if data.shape != (length, info.features):
+        raise AssertionError(
+            f"generator for {name} produced {data.shape}, expected ({length}, {info.features})"
+        )
+    return data
+
+
+def load_classification_dataset(name: str, scale: float = 1.0, seed: int = 0
+                                ) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a classification dataset by name; returns ``(x, y)`` with
+    ``x`` shaped ``(samples, length, features)``."""
+    info = _lookup(CLASSIFICATION_DATASETS, name)
+    n_samples = max(int(info.samples * scale), 4 * info.classes)
+    x, y = info.generator(n_samples, info.length, seed=seed)
+    if x.shape != (n_samples, info.length, info.features):
+        raise AssertionError(
+            f"generator for {name} produced {x.shape}, "
+            f"expected ({n_samples}, {info.length}, {info.features})"
+        )
+    return x, y
+
+
+def _lookup(table: dict, name: str):
+    if name not in table:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(table)}")
+    return table[name]

@@ -1,0 +1,42 @@
+"""Feature scaling fit on training data only (no test-set leakage)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Per-feature standardisation over the last axis.
+
+    Fit on the training split, then applied to validation/test — the
+    standard leakage-free protocol for time-series benchmarks.
+    """
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """``data``: (..., features); statistics pool all leading axes."""
+        flat = data.reshape(-1, data.shape[-1])
+        self.mean_ = flat.mean(axis=0)
+        self.std_ = flat.std(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return ((data - self.mean_) / (self.std_ + self.eps)).astype(np.float32)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return data * (self.std_ + self.eps) + self.mean_
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler used before fit()")

@@ -1,0 +1,42 @@
+"""``repro.evaluation`` — metrics and model-agnostic evaluation protocols."""
+
+from . import metrics
+from .classification import (
+    ClassificationScores,
+    collect_instance_features,
+    linear_probe_classification,
+)
+from .clustering_eval import (
+    ClusteringScores,
+    adjusted_rand_index,
+    cluster_accuracy,
+    evaluate_clustering,
+    normalized_mutual_info,
+)
+from .embedding_quality import (
+    alignment,
+    anisotropy,
+    effective_rank,
+    embedding_report,
+    uniformity,
+)
+from .forecasting import (
+    ForecastScores,
+    RidgeProbe,
+    collect_forecast_features,
+    ridge_probe_forecasting,
+)
+from .metrics import accuracy, classification_report, cohen_kappa, macro_f1, mae, mse
+
+__all__ = [
+    "metrics", "mse", "mae", "accuracy", "macro_f1", "cohen_kappa",
+    "classification_report",
+    "ForecastScores", "RidgeProbe", "ridge_probe_forecasting",
+    "collect_forecast_features",
+    "ClassificationScores", "linear_probe_classification",
+    "collect_instance_features",
+    "anisotropy", "effective_rank", "alignment", "uniformity",
+    "embedding_report",
+    "ClusteringScores", "evaluate_clustering", "normalized_mutual_info",
+    "adjusted_rand_index", "cluster_accuracy",
+]

@@ -1,0 +1,113 @@
+"""Clustering evaluation of instance-level embeddings.
+
+The paper lists clustering alongside classification as the instance-level
+downstream task (Section I / III) without evaluating it; this module
+completes that evaluation surface.  Embeddings are clustered with k-means
+(k = number of classes) and scored against ground-truth labels with the
+standard external measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ..baselines.clustering import kmeans
+
+__all__ = ["ClusteringScores", "normalized_mutual_info", "adjusted_rand_index",
+           "cluster_accuracy", "evaluate_clustering"]
+
+
+@dataclass
+class ClusteringScores:
+    """External clustering quality measures (all in [0, 1]-ish ranges)."""
+
+    nmi: float
+    ari: float
+    accuracy: float
+
+
+def _contingency(labels_true: np.ndarray, labels_pred: np.ndarray) -> np.ndarray:
+    true_ids = np.unique(labels_true)
+    pred_ids = np.unique(labels_pred)
+    table = np.zeros((len(true_ids), len(pred_ids)), dtype=np.int64)
+    for i, true_id in enumerate(true_ids):
+        for j, pred_id in enumerate(pred_ids):
+            table[i, j] = np.sum((labels_true == true_id) & (labels_pred == pred_id))
+    return table
+
+
+def normalized_mutual_info(labels_true, labels_pred) -> float:
+    """NMI with arithmetic normalisation; 1 = identical partitions."""
+    labels_true, labels_pred = _validate(labels_true, labels_pred)
+    n = len(labels_true)
+    table = _contingency(labels_true, labels_pred)
+    joint = table / n
+    row = joint.sum(axis=1, keepdims=True)
+    col = joint.sum(axis=0, keepdims=True)
+    nonzero = joint > 0
+    mutual = (joint[nonzero] * np.log(joint[nonzero] / (row @ col)[nonzero])).sum()
+    h_true = -np.sum(row[row > 0] * np.log(row[row > 0]))
+    h_pred = -np.sum(col[col > 0] * np.log(col[col > 0]))
+    denominator = (h_true + h_pred) / 2
+    if denominator <= 0:
+        return 1.0 if mutual == 0 else 0.0
+    return float(mutual / denominator)
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """ARI: chance-corrected pair-counting agreement; 1 = identical."""
+    labels_true, labels_pred = _validate(labels_true, labels_pred)
+    table = _contingency(labels_true, labels_pred)
+    n = len(labels_true)
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array(n))
+    expected = sum_rows * sum_cols / total if total else 0.0
+    maximum = (sum_rows + sum_cols) / 2
+    if maximum == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def cluster_accuracy(labels_true, labels_pred) -> float:
+    """Best-matching accuracy via the Hungarian assignment of cluster ids
+    to class ids."""
+    labels_true, labels_pred = _validate(labels_true, labels_pred)
+    table = _contingency(labels_true, labels_pred)
+    row_ind, col_ind = linear_sum_assignment(-table)
+    return float(table[row_ind, col_ind].sum() / len(labels_true))
+
+
+def evaluate_clustering(embeddings: np.ndarray, labels: np.ndarray,
+                        n_clusters: int | None = None, seed: int = 0
+                        ) -> ClusteringScores:
+    """k-means on embeddings, scored against ground-truth labels."""
+    labels = np.asarray(labels).reshape(-1)
+    if len(embeddings) != len(labels):
+        raise ValueError("embeddings / labels length mismatch")
+    k = n_clusters or int(np.unique(labels).size)
+    __, assignments = kmeans(np.asarray(embeddings), k, iters=20,
+                             rng=np.random.default_rng(seed))
+    return ClusteringScores(
+        nmi=normalized_mutual_info(labels, assignments),
+        ari=adjusted_rand_index(labels, assignments),
+        accuracy=cluster_accuracy(labels, assignments),
+    )
+
+
+def _validate(labels_true, labels_pred) -> tuple[np.ndarray, np.ndarray]:
+    labels_true = np.asarray(labels_true).reshape(-1)
+    labels_pred = np.asarray(labels_pred).reshape(-1)
+    if labels_true.shape != labels_pred.shape:
+        raise ValueError("label arrays must have identical shapes")
+    if labels_true.size == 0:
+        raise ValueError("empty label arrays")
+    return labels_true, labels_pred

@@ -1,0 +1,94 @@
+"""Embedding-space quality diagnostics.
+
+The paper's central argument for the disentangled [CLS] token is the
+**anisotropy problem** (Section I, citing Gao et al. 2019 / Ethayarajh
+2019): instance embeddings derived by pooling timestamp-level embeddings
+collapse into a narrow cone of the embedding space, limiting their
+expressiveness.  This module quantifies that claim so it can be tested and
+benchmarked rather than asserted:
+
+* :func:`anisotropy` — expected cosine similarity between random pairs
+  (1.0 = perfect cone, 0.0 = isotropic directions);
+* :func:`effective_rank` — entropy-based rank of the embedding covariance
+  (how many directions carry variance);
+* :func:`alignment` / :func:`uniformity` — Wang & Isola (2020) metrics for
+  contrastive representation quality;
+* :func:`embedding_report` — everything at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["anisotropy", "effective_rank", "alignment", "uniformity",
+           "embedding_report"]
+
+
+def _normalised(embeddings: np.ndarray) -> np.ndarray:
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError(f"expected (N, D) embeddings, got {embeddings.shape}")
+    if len(embeddings) < 2:
+        raise ValueError("need at least two embeddings")
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    return embeddings / (norms + 1e-12)
+
+
+def anisotropy(embeddings: np.ndarray) -> float:
+    """Mean cosine similarity over distinct pairs.
+
+    Values near 1 mean the embeddings occupy a narrow cone — the paper's
+    anisotropy pathology; near 0 means directions are spread isotropically.
+    """
+    unit = _normalised(embeddings)
+    n = len(unit)
+    gram = unit @ unit.T
+    off_diagonal = gram.sum() - np.trace(gram)
+    return float(off_diagonal / (n * (n - 1)))
+
+
+def effective_rank(embeddings: np.ndarray) -> float:
+    """Entropy-based effective rank of the embedding covariance (Roy &
+    Vetterli 2007): ``exp(H(p))`` with ``p`` the normalised singular-value
+    spectrum.  Ranges from 1 (rank collapse) to ``min(N, D)``."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError(f"expected (N, D) embeddings, got {embeddings.shape}")
+    centred = embeddings - embeddings.mean(axis=0, keepdims=True)
+    singular_values = np.linalg.svd(centred, compute_uv=False)
+    total = singular_values.sum()
+    if total <= 0:
+        return 1.0
+    spectrum = singular_values / total
+    spectrum = spectrum[spectrum > 1e-12]
+    entropy = -(spectrum * np.log(spectrum)).sum()
+    return float(np.exp(entropy))
+
+
+def alignment(view1: np.ndarray, view2: np.ndarray, alpha: float = 2.0) -> float:
+    """Wang-Isola alignment: mean distance^alpha between positive pairs on
+    the unit sphere.  Lower is better."""
+    unit1, unit2 = _normalised(view1), _normalised(view2)
+    if unit1.shape != unit2.shape:
+        raise ValueError("views must have identical shapes")
+    return float((np.linalg.norm(unit1 - unit2, axis=1) ** alpha).mean())
+
+
+def uniformity(embeddings: np.ndarray, t: float = 2.0) -> float:
+    """Wang-Isola uniformity: ``log E exp(-t ||u - v||^2)`` over random
+    pairs on the unit sphere.  Lower (more negative) is better; 0 means
+    total collapse."""
+    unit = _normalised(embeddings)
+    n = len(unit)
+    squared = ((unit[:, None, :] - unit[None, :, :]) ** 2).sum(axis=2)
+    mask = ~np.eye(n, dtype=bool)
+    return float(np.log(np.exp(-t * squared[mask]).mean()))
+
+
+def embedding_report(embeddings: np.ndarray) -> dict[str, float]:
+    """All single-view diagnostics for a batch of embeddings."""
+    return {
+        "anisotropy": anisotropy(embeddings),
+        "effective_rank": effective_rank(embeddings),
+        "uniformity": uniformity(embeddings),
+    }

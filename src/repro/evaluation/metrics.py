@@ -1,0 +1,93 @@
+"""Evaluation metrics (paper Section V, Eq. 20–27).
+
+Forecasting: MSE, MAE.  Classification: accuracy, macro-F1, Cohen's kappa.
+All functions take plain ndarrays and return floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "mae", "accuracy", "macro_f1", "cohen_kappa",
+           "classification_report"]
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error (Eq. 20)."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error (Eq. 21)."""
+    y_true, y_pred = _aligned(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions (Eq. 22)."""
+    y_true, y_pred = _aligned_labels(y_true, y_pred)
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Macro-averaged F1 (Eq. 23): unweighted mean of per-class F1 scores.
+
+    Classes absent from both truth and prediction contribute F1 = 0 only if
+    they appear in the union of labels, matching sklearn's behaviour.
+    """
+    y_true, y_pred = _aligned_labels(y_true, y_pred)
+    classes = np.union1d(y_true, y_pred)
+    scores = []
+    for cls in classes:
+        tp = np.sum((y_pred == cls) & (y_true == cls))
+        fp = np.sum((y_pred == cls) & (y_true != cls))
+        fn = np.sum((y_pred != cls) & (y_true == cls))
+        denominator = 2 * tp + fp + fn
+        scores.append(2 * tp / denominator if denominator else 0.0)
+    return float(np.mean(scores))
+
+
+def cohen_kappa(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Cohen's kappa (Eq. 26–27): chance-corrected agreement.
+
+    Returns 0 when both marginals are degenerate to the same single class
+    (p_e = 1), the conventional limit.
+    """
+    y_true, y_pred = _aligned_labels(y_true, y_pred)
+    n = y_true.size
+    if n == 0:
+        raise ValueError("empty label arrays")
+    observed = float(np.mean(y_true == y_pred))
+    classes = np.union1d(y_true, y_pred)
+    expected = 0.0
+    for cls in classes:
+        expected += (np.sum(y_true == cls) / n) * (np.sum(y_pred == cls) / n)
+    if expected >= 1.0:
+        return 0.0
+    return float((observed - expected) / (1.0 - expected))
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """The paper's three classification metrics as percentages."""
+    return {
+        "ACC": 100.0 * accuracy(y_true, y_pred),
+        "MF1": 100.0 * macro_f1(y_true, y_pred),
+        "kappa": 100.0 * cohen_kappa(y_true, y_pred),
+    }
+
+
+def _aligned(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true, y_pred = np.asarray(y_true, dtype=np.float64), np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return y_true, y_pred
+
+
+def _aligned_labels(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true, y_pred = np.asarray(y_true).reshape(-1), np.asarray(y_pred).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return y_true, y_pred

@@ -1,0 +1,54 @@
+"""``repro.experiments`` — drivers that regenerate every table and figure
+of the paper's evaluation section (see DESIGN.md for the index)."""
+
+from .ablations import (
+    AUGMENTATION_CHOICES,
+    BACKBONE_CHOICES,
+    POOLING_CHOICES,
+    augmentation_ablation,
+    backbone_ablation,
+    lambda_sensitivity,
+    pooling_ablation,
+    stop_gradient_ablation,
+)
+from .classification import (
+    CLASSIFICATION_METHODS,
+    classification_table,
+    prepare_classification_data,
+    run_classification_method,
+    timedrl_classification_config,
+)
+from .forecasting import (
+    FORECAST_METHODS,
+    forecasting_table,
+    prepare_forecasting_data,
+    run_forecasting_method,
+    timedrl_config_for,
+)
+from .report import (
+    ImprovementSummary,
+    average_accuracy_improvement,
+    average_error_improvement,
+    win_counts,
+)
+from .scale import DEFAULT, FULL, SMOKE, ScalePreset, get_scale
+from .semi_supervised import semi_supervised_classification, semi_supervised_forecasting
+from .tables import ResultTable
+from .timing import TIMING_METHODS, training_time_table
+
+__all__ = [
+    "ScalePreset", "SMOKE", "DEFAULT", "FULL", "get_scale",
+    "ResultTable",
+    "FORECAST_METHODS", "forecasting_table", "prepare_forecasting_data",
+    "run_forecasting_method", "timedrl_config_for",
+    "CLASSIFICATION_METHODS", "classification_table",
+    "prepare_classification_data", "run_classification_method",
+    "timedrl_classification_config",
+    "AUGMENTATION_CHOICES", "POOLING_CHOICES", "BACKBONE_CHOICES",
+    "augmentation_ablation", "pooling_ablation", "backbone_ablation",
+    "stop_gradient_ablation", "lambda_sensitivity",
+    "semi_supervised_forecasting", "semi_supervised_classification",
+    "TIMING_METHODS", "training_time_table",
+    "ImprovementSummary", "average_error_improvement",
+    "average_accuracy_improvement", "win_counts",
+]

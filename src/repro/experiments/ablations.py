@@ -1,0 +1,159 @@
+"""Ablation drivers: Tables VI–IX and the Fig. 6 λ sensitivity sweep.
+
+Every ablation runs the *same* TimeDRL pipeline with exactly one
+configuration knob changed, so differences are attributable to the ablated
+component:
+
+* Table VI  — ``augmentation`` ∈ {None, jitter, scaling, rotation,
+  permutation, masking, cropping} on forecasting datasets;
+* Table VII — ``pooling`` ∈ {cls, last, gap, all} on classification;
+* Table VIII — ``backbone`` ∈ {transformer, transformer_decoder, resnet,
+  tcn, lstm, bilstm} on forecasting;
+* Table IX  — ``use_stop_gradient`` ∈ {True, False} on classification;
+* Fig. 6    — ``lambda_weight`` sweep on one forecasting and one
+  classification dataset.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    PretrainConfig,
+    linear_evaluate_classification,
+    linear_evaluate_forecasting,
+    pretrain,
+)
+from .classification import prepare_classification_data, timedrl_classification_config
+from .forecasting import prepare_forecasting_data, timedrl_config_for
+from .scale import ScalePreset, get_scale
+from .tables import ResultTable
+
+__all__ = [
+    "AUGMENTATION_CHOICES",
+    "POOLING_CHOICES",
+    "BACKBONE_CHOICES",
+    "augmentation_ablation",
+    "pooling_ablation",
+    "backbone_ablation",
+    "stop_gradient_ablation",
+    "lambda_sensitivity",
+]
+
+AUGMENTATION_CHOICES = ("None", "jitter", "scaling", "rotation", "permutation",
+                        "masking", "cropping")
+POOLING_CHOICES = ("cls", "last", "gap", "all")
+BACKBONE_CHOICES = ("transformer", "transformer_decoder", "resnet", "tcn",
+                    "lstm", "bilstm")
+
+
+def _forecast_mse(dataset: str, preset: ScalePreset, seed: int,
+                  **config_overrides) -> float:
+    """Pre-train TimeDRL with overrides; return test MSE at the first
+    preset horizon (the paper's ablations report a single horizon)."""
+    prepared = prepare_forecasting_data(dataset, preset, univariate=False, seed=seed)
+    horizon, data = next(iter(prepared["horizons"].items()))
+    config = timedrl_config_for(prepared["n_features"], preset, seed=seed,
+                                **config_overrides)
+    outcome = pretrain(config, data.train, PretrainConfig(
+        epochs=preset.ablation_pretrain_epochs, batch_size=preset.batch_size,
+        max_batches_per_epoch=preset.max_batches, seed=seed))
+    return linear_evaluate_forecasting(outcome.model, data).mse
+
+
+def _classification_acc(dataset: str, preset: ScalePreset, seed: int,
+                        **config_overrides) -> float:
+    data = prepare_classification_data(dataset, preset, seed)
+    config = timedrl_classification_config(dataset, preset, seed=seed,
+                                           **config_overrides)
+    outcome = pretrain(config, data.x_train, PretrainConfig(
+        epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
+        max_batches_per_epoch=preset.max_batches, seed=seed))
+    return linear_evaluate_classification(outcome.model, data,
+                                          epochs=preset.probe_epochs, seed=seed).accuracy
+
+
+def augmentation_ablation(datasets: tuple[str, ...] = ("ETTh1", "Exchange"),
+                          augmentations: tuple[str, ...] = AUGMENTATION_CHOICES,
+                          preset: ScalePreset | None = None,
+                          seed: int = 0) -> ResultTable:
+    """Table VI: applying any augmentation should *raise* MSE over None."""
+    preset = preset or get_scale()
+    table = ResultTable("Ablation: data augmentation (forecasting MSE)",
+                        columns=list(datasets))
+    for augmentation in augmentations:
+        override = None if augmentation == "None" else augmentation
+        for dataset in datasets:
+            table.add(augmentation, dataset,
+                      _forecast_mse(dataset, preset, seed, augmentation=override))
+    return table
+
+
+def pooling_ablation(datasets: tuple[str, ...] = ("FingerMovements", "Epilepsy"),
+                     poolings: tuple[str, ...] = POOLING_CHOICES,
+                     preset: ScalePreset | None = None,
+                     seed: int = 0) -> ResultTable:
+    """Table VII: the [CLS] strategy should beat last/GAP/all pooling."""
+    preset = preset or get_scale()
+    table = ResultTable("Ablation: pooling method (classification ACC %)",
+                        columns=list(datasets))
+    for pooling in poolings:
+        for dataset in datasets:
+            table.add(pooling, dataset,
+                      _classification_acc(dataset, preset, seed, pooling=pooling))
+    return table
+
+
+def backbone_ablation(datasets: tuple[str, ...] = ("ETTh1", "Exchange"),
+                      backbones: tuple[str, ...] = BACKBONE_CHOICES,
+                      preset: ScalePreset | None = None,
+                      seed: int = 0) -> ResultTable:
+    """Table VIII: the bidirectional Transformer encoder should win."""
+    preset = preset or get_scale()
+    table = ResultTable("Ablation: backbone encoder (forecasting MSE)",
+                        columns=list(datasets))
+    for backbone in backbones:
+        for dataset in datasets:
+            table.add(backbone, dataset,
+                      _forecast_mse(dataset, preset, seed, backbone=backbone))
+    return table
+
+
+def stop_gradient_ablation(datasets: tuple[str, ...] = ("FingerMovements", "Epilepsy"),
+                           preset: ScalePreset | None = None,
+                           seed: int = 0) -> ResultTable:
+    """Table IX: removing stop-gradient should hurt (representation
+    collapse in the negative-free contrastive task)."""
+    preset = preset or get_scale()
+    table = ResultTable("Ablation: stop gradient (classification ACC %)",
+                        columns=list(datasets))
+    for label, flag in (("w/ SG", True), ("w/o SG", False)):
+        for dataset in datasets:
+            table.add(label, dataset,
+                      _classification_acc(dataset, preset, seed,
+                                          use_stop_gradient=flag))
+    return table
+
+
+def lambda_sensitivity(forecast_dataset: str = "ETTh1",
+                       classification_dataset: str = "Epilepsy",
+                       lambdas: tuple[float, ...] = (0.001, 0.1, 1.0, 10.0, 1000.0),
+                       preset: ScalePreset | None = None,
+                       seed: int = 0) -> ResultTable:
+    """Fig. 6: sweep λ of Eq. 19.
+
+    Small λ ignores the instance-contrastive task (hurts forecasting and
+    especially classification); huge λ drowns the predictive task.  Columns
+    are forecasting MSE and classification accuracy.
+    """
+    preset = preset or get_scale()
+    forecast_col = f"{forecast_dataset} MSE"
+    class_col = f"{classification_dataset} ACC"
+    table = ResultTable("Sensitivity: lambda (Eq. 19)",
+                        columns=[forecast_col, class_col])
+    for lam in lambdas:
+        row = f"lambda={lam:g}"
+        table.add(row, forecast_col,
+                  _forecast_mse(forecast_dataset, preset, seed, lambda_weight=lam))
+        table.add(row, class_col,
+                  _classification_acc(classification_dataset, preset, seed,
+                                      lambda_weight=lam))
+    return table

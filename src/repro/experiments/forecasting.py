@@ -1,0 +1,161 @@
+"""Table III / Table IV drivers: linear evaluation on time-series
+forecasting (multivariate and univariate).
+
+Protocol per method and dataset:
+
+* representation learners (TimeDRL, SimTS, TS2Vec, TNC, CoST) pre-train
+  once on the training windows, then a linear probe is fit per prediction
+  length on frozen features;
+* end-to-end models (Informer, TCN) are trained from scratch per
+  prediction length.
+
+Results are MSE/MAE on the chronological test split in the dataset's
+standard-scaled space, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import (
+    END_TO_END_FORECASTERS,
+    FORECASTING_SSL_BASELINES,
+    FitConfig,
+)
+from ..core import (
+    PretrainConfig,
+    TimeDRLConfig,
+    linear_evaluate_forecasting,
+    pretrain,
+)
+from ..data import FORECASTING_DATASETS, load_forecasting_dataset, make_forecasting_data
+from ..evaluation import ridge_probe_forecasting
+from .scale import ScalePreset, get_scale
+from .tables import ResultTable
+
+__all__ = [
+    "FORECAST_METHODS",
+    "prepare_forecasting_data",
+    "timedrl_config_for",
+    "run_forecasting_method",
+    "forecasting_table",
+]
+
+FORECAST_METHODS = ("TimeDRL", "SimTS", "TS2Vec", "TNC", "CoST", "Informer", "TCN")
+
+
+def prepare_forecasting_data(dataset: str, preset: ScalePreset,
+                             univariate: bool = False, seed: int = 0) -> dict:
+    """Build per-horizon :class:`ForecastingData` plus shared metadata."""
+    info = FORECASTING_DATASETS[dataset]
+    scale = min(1.0, preset.max_timesteps / info.timesteps)
+    series = load_forecasting_dataset(dataset, scale=scale, seed=seed)
+    target = info.univariate_target if univariate else None
+    horizons = [h for h in preset.horizons
+                if _fits(len(series), preset.seq_len, h)]
+    if not horizons:
+        raise ValueError(f"no preset horizon fits dataset {dataset} at this scale")
+    per_horizon = {
+        horizon: make_forecasting_data(series, preset.seq_len, horizon,
+                                       stride=preset.window_stride,
+                                       univariate_target=target)
+        for horizon in horizons
+    }
+    n_features = 1 if univariate else info.features
+    return {"horizons": per_horizon, "n_features": n_features, "series": series}
+
+
+def _fits(length: int, seq_len: int, horizon: int) -> bool:
+    test_span = length - int(length * 0.8)
+    return test_span >= seq_len + horizon
+
+
+def timedrl_config_for(n_features: int, preset: ScalePreset, seed: int = 0,
+                       **overrides) -> TimeDRLConfig:
+    """The paper's forecasting configuration: channel independence on."""
+    params = dict(
+        seq_len=preset.seq_len, input_channels=n_features,
+        patch_len=preset.patch_len, stride=preset.patch_len,
+        d_model=preset.d_model, num_heads=preset.num_heads,
+        num_layers=preset.num_layers, channel_independence=True, seed=seed,
+    )
+    params.update(overrides)
+    return TimeDRLConfig(**params)
+
+
+def run_forecasting_method(method: str, prepared: dict, preset: ScalePreset,
+                           seed: int = 0, config_overrides: dict | None = None
+                           ) -> dict[int, tuple[float, float]]:
+    """Run one method over every horizon; returns ``{horizon: (mse, mae)}``."""
+    horizons = prepared["horizons"]
+    n_features = prepared["n_features"]
+    first_data = next(iter(horizons.values()))
+    results: dict[int, tuple[float, float]] = {}
+
+    if method == "TimeDRL":
+        config = timedrl_config_for(n_features, preset, seed=seed,
+                                    **(config_overrides or {}))
+        outcome = pretrain(config, first_data.train, PretrainConfig(
+            epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
+            max_batches_per_epoch=preset.max_batches, seed=seed))
+        for horizon, data in horizons.items():
+            scores = linear_evaluate_forecasting(outcome.model, data)
+            results[horizon] = (scores.mse, scores.mae)
+        return results
+
+    if method in FORECASTING_SSL_BASELINES:
+        model = FORECASTING_SSL_BASELINES[method](
+            in_channels=n_features, d_model=preset.d_model, seed=seed)
+        model.fit(first_data.train, FitConfig(
+            epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
+            max_batches_per_epoch=preset.max_batches, seed=seed))
+        for horizon, data in horizons.items():
+            scores = ridge_probe_forecasting(model.forecast_features, data)
+            results[horizon] = (scores.mse, scores.mae)
+        return results
+
+    if method in END_TO_END_FORECASTERS:
+        for horizon, data in horizons.items():
+            if method == "Informer":
+                model = END_TO_END_FORECASTERS[method](
+                    in_channels=n_features, seq_len=preset.seq_len,
+                    pred_len=horizon, d_model=preset.d_model, seed=seed)
+            else:
+                model = END_TO_END_FORECASTERS[method](
+                    in_channels=n_features, pred_len=horizon,
+                    d_model=preset.d_model, seed=seed)
+            model.fit(data, FitConfig(
+                epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
+                max_batches_per_epoch=preset.max_batches, seed=seed))
+            results[horizon] = model.evaluate(data)
+        return results
+
+    raise KeyError(f"unknown forecasting method {method!r}; "
+                   f"available: {FORECAST_METHODS}")
+
+
+def forecasting_table(datasets: tuple[str, ...] = ("ETTh1",),
+                      methods: tuple[str, ...] = FORECAST_METHODS,
+                      univariate: bool = False,
+                      preset: ScalePreset | None = None,
+                      seed: int = 0) -> dict[str, ResultTable]:
+    """Regenerate the paper's Table III (or IV with ``univariate=True``).
+
+    Returns ``{"MSE": table, "MAE": table}`` with one row per
+    dataset/horizon pair and one column per method.
+    """
+    preset = preset or get_scale()
+    flavour = "univariate" if univariate else "multivariate"
+    mse_table = ResultTable(f"Linear evaluation, {flavour} forecasting (MSE)",
+                            columns=list(methods))
+    mae_table = ResultTable(f"Linear evaluation, {flavour} forecasting (MAE)",
+                            columns=list(methods))
+    for dataset in datasets:
+        prepared = prepare_forecasting_data(dataset, preset, univariate, seed)
+        for method in methods:
+            per_horizon = run_forecasting_method(method, prepared, preset, seed)
+            for horizon, (mse_value, mae_value) in per_horizon.items():
+                row = f"{dataset}-{horizon}"
+                mse_table.add(row, method, mse_value)
+                mae_table.add(row, method, mae_value)
+    return {"MSE": mse_table, "MAE": mae_table}

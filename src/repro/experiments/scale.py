@@ -1,0 +1,82 @@
+"""Benchmark scale presets.
+
+The paper's experiments ran on a GPU with full-size datasets; this
+reproduction runs on a single CPU core, so the benchmark harness scales
+everything down while preserving every protocol detail.  Three presets:
+
+* ``smoke``   — seconds; used by the test suite.
+* ``default`` — minutes; what ``pytest benchmarks/`` runs.
+* ``full``    — paper-faithful sizes (hours on CPU); opt-in.
+
+Select with the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ScalePreset", "SMOKE", "DEFAULT", "FULL", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Everything a table/figure driver needs to size an experiment."""
+
+    name: str
+    max_timesteps: int            # cap on forecasting series length
+    max_samples: int              # cap on classification sample count
+    seq_len: int                  # input window length
+    horizons: tuple[int, ...]     # forecasting prediction lengths
+    window_stride: int            # sliding-window stride
+    pretrain_epochs: int
+    classify_pretrain_epochs: int  # classification sets are smaller; more epochs
+    ablation_pretrain_epochs: int  # forecasting ablations need longer training
+                                   # for augmentation/backbone effects to show
+    finetune_epochs: int
+    batch_size: int
+    max_batches: int | None       # cap batches/epoch (None = all)
+    d_model: int
+    classify_d_model: int         # classification encoder width (C*P head-room)
+    num_layers: int
+    num_heads: int
+    patch_len: int
+    probe_epochs: int             # classification linear-probe epochs
+    label_fractions: tuple[float, ...] = (0.1, 0.5, 1.0)
+
+
+SMOKE = ScalePreset(
+    name="smoke", max_timesteps=700, max_samples=120, seq_len=32,
+    horizons=(8,), window_stride=4, pretrain_epochs=1,
+    classify_pretrain_epochs=1, ablation_pretrain_epochs=1, finetune_epochs=1,
+    batch_size=16, max_batches=6, d_model=16, classify_d_model=16,
+    num_layers=1, num_heads=2,
+    patch_len=8, probe_epochs=40, label_fractions=(0.2, 1.0),
+)
+
+DEFAULT = ScalePreset(
+    name="default", max_timesteps=2000, max_samples=1000, seq_len=64,
+    horizons=(24, 48), window_stride=4, pretrain_epochs=3,
+    classify_pretrain_epochs=10, ablation_pretrain_epochs=10, finetune_epochs=3,
+    batch_size=32, max_batches=25, d_model=32, classify_d_model=64,
+    num_layers=2, num_heads=4,
+    patch_len=8, probe_epochs=100, label_fractions=(0.1, 0.5, 1.0),
+)
+
+FULL = ScalePreset(
+    name="full", max_timesteps=20_000, max_samples=4_000, seq_len=336,
+    horizons=(24, 48, 168, 336, 720), window_stride=1, pretrain_epochs=10,
+    classify_pretrain_epochs=20, ablation_pretrain_epochs=10, finetune_epochs=10, batch_size=32,
+    max_batches=None, d_model=64, classify_d_model=128, num_layers=2, num_heads=8, patch_len=16, probe_epochs=300,
+    label_fractions=(0.01, 0.05, 0.1, 0.5, 1.0),
+)
+
+_PRESETS = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def get_scale(override: str | None = None) -> ScalePreset:
+    """Resolve the active preset: explicit arg > env var > default."""
+    name = override or os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name not in _PRESETS:
+        raise KeyError(f"unknown scale preset {name!r}; choose from {sorted(_PRESETS)}")
+    return _PRESETS[name]

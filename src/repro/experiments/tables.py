@@ -1,0 +1,88 @@
+"""Result-table container with paper-style printing.
+
+Every table/figure driver returns a :class:`ResultTable`; the benchmark
+harness prints it in the same rows-by-method layout the paper uses and
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A labelled grid of floats: ``rows × columns`` with a title."""
+
+    title: str
+    columns: list[str]
+    rows: list[str] = field(default_factory=list)
+    values: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def add(self, row: str, column: str, value: float) -> None:
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}")
+        if row not in self.rows:
+            self.rows.append(row)
+        self.values[(row, column)] = float(value)
+
+    def get(self, row: str, column: str) -> float:
+        return self.values[(row, column)]
+
+    def row_values(self, row: str) -> dict[str, float]:
+        return {c: self.values[(row, c)] for c in self.columns if (row, c) in self.values}
+
+    def best_column(self, row: str, minimise: bool = True) -> str:
+        """Column with the best value in ``row`` (min for errors, max for
+        accuracies)."""
+        present = self.row_values(row)
+        if not present:
+            raise KeyError(f"row {row!r} has no values")
+        chooser = min if minimise else max
+        return chooser(present, key=present.get)
+
+    def to_markdown(self, float_format: str = "{:.3f}") -> str:
+        header = "| " + " | ".join([""] + self.columns) + " |"
+        divider = "|" + "---|" * (len(self.columns) + 1)
+        lines = [f"### {self.title}", "", header, divider]
+        for row in self.rows:
+            cells = []
+            for column in self.columns:
+                value = self.values.get((row, column))
+                cells.append(float_format.format(value) if value is not None else "—")
+            lines.append("| " + " | ".join([row] + cells) + " |")
+        return "\n".join(lines)
+
+    def print(self, float_format: str = "{:.3f}") -> None:
+        print(self.to_markdown(float_format))
+        print()
+
+    @classmethod
+    def from_markdown(cls, text: str) -> "ResultTable":
+        """Parse a table previously written by :meth:`to_markdown`.
+
+        Round-tripping through ``results/*.md`` lets tooling (the SVG
+        figure renderer, the aggregate reporter) consume archived runs
+        without re-running experiments.  Missing cells ("—") are skipped.
+        """
+        lines = [line.strip() for line in text.strip().splitlines() if line.strip()]
+        if not lines or not lines[0].startswith("### "):
+            raise ValueError("expected a '### title' heading")
+        title = lines[0][4:]
+        header = next((line for line in lines[1:] if line.startswith("|")), None)
+        if header is None:
+            raise ValueError("no table header found")
+        columns = [cell.strip() for cell in header.strip("|").split("|")][1:]
+        table = cls(title, columns=columns)
+        body_start = lines.index(header) + 2  # skip the divider row
+        for line in lines[body_start:]:
+            if not line.startswith("|"):
+                break
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            row_name, values = cells[0], cells[1:]
+            for column, cell in zip(columns, values):
+                if cell and cell != "—":
+                    table.add(row_name, column, float(cell))
+        return table

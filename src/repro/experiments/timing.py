@@ -1,0 +1,62 @@
+"""Fig. 4 driver: pre-training wall-clock comparison.
+
+The paper compares TimeDRL (Transformer + patching) against the fast
+convolutional encoders of SimTS and TS2Vec at a fixed batch size, epoch
+count and sequence length, and argues the patching mechanism closes most
+of the Transformer's efficiency gap.  This driver additionally times
+TimeDRL *without* patching (patch_len = stride = 1) to expose exactly that
+effect — the ablation DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from ..baselines import FitConfig, SimTS, TS2Vec
+from ..core import PretrainConfig, pretrain
+from .forecasting import prepare_forecasting_data, timedrl_config_for
+from .scale import ScalePreset, get_scale
+from .tables import ResultTable
+
+__all__ = ["TIMING_METHODS", "training_time_table"]
+
+TIMING_METHODS = ("TimeDRL", "TimeDRL (no patching)", "SimTS", "TS2Vec")
+
+
+def training_time_table(datasets: tuple[str, ...] = ("ETTh1", "Exchange"),
+                        methods: tuple[str, ...] = TIMING_METHODS,
+                        preset: ScalePreset | None = None,
+                        seed: int = 0) -> ResultTable:
+    """Pre-training seconds per method per dataset (Fig. 4)."""
+    preset = preset or get_scale()
+    table = ResultTable("Pre-training wall-clock (seconds)", columns=list(datasets))
+    for dataset in datasets:
+        prepared = prepare_forecasting_data(dataset, preset, univariate=False,
+                                            seed=seed)
+        __, data = next(iter(prepared["horizons"].items()))
+        n_features = prepared["n_features"]
+        pretrain_config = PretrainConfig(
+            epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
+            max_batches_per_epoch=preset.max_batches, seed=seed)
+        fit_config = FitConfig(
+            epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
+            max_batches_per_epoch=preset.max_batches, seed=seed)
+
+        for method in methods:
+            if method == "TimeDRL":
+                config = timedrl_config_for(n_features, preset, seed=seed)
+                seconds = pretrain(config, data.train, pretrain_config).wall_clock_seconds
+            elif method == "TimeDRL (no patching)":
+                config = timedrl_config_for(n_features, preset, seed=seed,
+                                            patch_len=1, stride=1)
+                seconds = pretrain(config, data.train, pretrain_config).wall_clock_seconds
+            elif method == "SimTS":
+                model = SimTS(in_channels=n_features, d_model=preset.d_model,
+                              seed=seed).fit(data.train, fit_config)
+                seconds = model.fit_seconds
+            elif method == "TS2Vec":
+                model = TS2Vec(in_channels=n_features, d_model=preset.d_model,
+                               seed=seed).fit(data.train, fit_config)
+                seconds = model.fit_seconds
+            else:
+                raise KeyError(f"unknown timing method {method!r}")
+            table.add(method, dataset, seconds)
+    return table

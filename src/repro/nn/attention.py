@@ -1,0 +1,73 @@
+"""Multi-head self-attention.
+
+Used by both the Transformer encoder (bidirectional attention — the paper's
+backbone) and the Transformer decoder ablation (causal attention, Table
+VIII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "causal_mask"]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive mask: ``-inf`` above the diagonal so token *t* attends only
+    to tokens ``<= t``."""
+    mask = np.triu(np.full((length, length), -1e9, dtype=np.float32), k=1)
+    return mask
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` parallel heads.
+
+    Parameters
+    ----------
+    d_model:
+        Model (embedding) dimension; must be divisible by ``num_heads``.
+    dropout:
+        Applied to the attention probabilities in training mode.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        rng = rng or np.random.default_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attn_mask: np.ndarray | None = None) -> Tensor:
+        """Self-attend over ``x`` of shape ``(N, T, d_model)``.
+
+        ``attn_mask`` is an additive ``(T, T)`` mask (see :func:`causal_mask`).
+        """
+        n, t, __ = x.shape
+        q = self._split_heads(self.q_proj(x), n, t)
+        k = self._split_heads(self.k_proj(x), n, t)
+        v = self._split_heads(self.v_proj(x), n, t)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        if attn_mask is not None:
+            scores = scores + Tensor(attn_mask[None, None, :, :])
+        probs = F.softmax(scores, axis=-1)
+        probs = self.attn_dropout(probs)
+        context = probs @ v  # (N, H, T, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(n, t, self.d_model)
+        return self.out_proj(merged)
+
+    def _split_heads(self, x: Tensor, n: int, t: int) -> Tensor:
+        return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)

@@ -1,0 +1,221 @@
+"""1-D convolutional layers and the composite blocks built from them.
+
+Provides:
+
+* :class:`Conv1d` — standard/dilated 1-D convolution via im2col, so both the
+  forward pass and the gradient are expressed through autograd matmuls.
+* :class:`CausalConv1d` — left-padded convolution for autoregressive models.
+* :class:`TCNBlock` / :class:`TCN` — dilated-causal residual blocks (Bai et
+  al., 2018), used both as a forecasting baseline and as a backbone ablation.
+* :class:`ResNetBlock1d` / :class:`ResNet1d` — ResNet-18-style 1-D residual
+  network (backbone ablation, Table VIII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import BatchNorm1d, Dropout, ReLU
+from .module import Module, ModuleList, Parameter
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Conv1d", "CausalConv1d", "TCNBlock", "TCN", "ResNetBlock1d", "ResNet1d",
+           "MaxPool1d", "GlobalAveragePool1d"]
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(N, C_in, L)`` inputs.
+
+    Implemented with im2col + matmul so the backward pass falls out of the
+    autograd engine: the column gather is a differentiable advanced-indexing
+    op, the contraction a differentiable matmul.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, dilation: int = 1,
+                 bias: bool = True, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if kernel_size < 1 or stride < 1 or dilation < 1:
+            raise ValueError("kernel_size, stride and dilation must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size), rng)
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(in_channels * kernel_size)
+            self.bias = Parameter(
+                rng.uniform(-bound, bound, size=out_channels).astype(np.float32)
+            )
+        else:
+            self.bias = None
+
+    def output_length(self, length: int) -> int:
+        effective = (self.kernel_size - 1) * self.dilation + 1
+        return (length + 2 * self.padding - effective) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, length = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+        if self.padding:
+            x = x.pad(((0, 0), (0, 0), (self.padding, self.padding)))
+            length += 2 * self.padding
+        out_len = self.output_length(length - 2 * self.padding)
+        if out_len <= 0:
+            raise ValueError("convolution output length would be non-positive")
+
+        # Column index grid: (out_len, kernel_size)
+        starts = np.arange(out_len) * self.stride
+        taps = np.arange(self.kernel_size) * self.dilation
+        cols = starts[:, None] + taps[None, :]
+
+        patches = x[:, :, cols]  # (N, C_in, out_len, K) via advanced indexing
+        patches = patches.transpose(0, 2, 1, 3).reshape(n, out_len, c * self.kernel_size)
+        kernel = self.weight.reshape(self.out_channels, c * self.kernel_size)
+        out = patches @ kernel.transpose()  # (N, out_len, C_out)
+        if self.bias is not None:
+            out = out + self.bias
+        return out.transpose(0, 2, 1)  # (N, C_out, out_len)
+
+
+class CausalConv1d(Module):
+    """Dilated convolution padded on the left only: output at time *t* sees
+    inputs up to *t*; output length equals input length."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 dilation: int = 1, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.left_pad = (kernel_size - 1) * dilation
+        self.conv = Conv1d(in_channels, out_channels, kernel_size,
+                           dilation=dilation, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.left_pad:
+            x = x.pad(((0, 0), (0, 0), (self.left_pad, 0)))
+        return self.conv(x)
+
+
+class TCNBlock(Module):
+    """Temporal-convolutional residual block (two dilated causal convs)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 dilation: int = 1, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.conv1 = CausalConv1d(in_channels, out_channels, kernel_size, dilation, rng=rng)
+        self.conv2 = CausalConv1d(out_channels, out_channels, kernel_size, dilation, rng=rng)
+        self.relu = ReLU()
+        self.dropout1 = Dropout(dropout, rng=rng)
+        self.dropout2 = Dropout(dropout, rng=rng)
+        if in_channels != out_channels:
+            self.residual = Conv1d(in_channels, out_channels, 1, rng=rng)
+        else:
+            self.residual = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.dropout1(self.relu(self.conv1(x)))
+        hidden = self.dropout2(self.relu(self.conv2(hidden)))
+        shortcut = self.residual(x) if self.residual is not None else x
+        return self.relu(hidden + shortcut)
+
+
+class TCN(Module):
+    """Stack of TCN blocks with exponentially growing dilation."""
+
+    def __init__(self, in_channels: int, channels: list[int], kernel_size: int = 3,
+                 dropout: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        blocks = []
+        previous = in_channels
+        for level, width in enumerate(channels):
+            blocks.append(TCNBlock(previous, width, kernel_size,
+                                   dilation=2**level, dropout=dropout, rng=rng))
+            previous = width
+        self.blocks = ModuleList(blocks)
+        self.out_channels = previous
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+
+class ResNetBlock1d(Module):
+    """Basic 1-D residual block: conv-BN-ReLU-conv-BN plus shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        pad = kernel_size // 2
+        self.conv1 = Conv1d(in_channels, out_channels, kernel_size, padding=pad, rng=rng)
+        self.bn1 = BatchNorm1d(out_channels)
+        self.conv2 = Conv1d(out_channels, out_channels, kernel_size, padding=pad, rng=rng)
+        self.bn2 = BatchNorm1d(out_channels)
+        self.relu = ReLU()
+        if in_channels != out_channels:
+            self.shortcut = Conv1d(in_channels, out_channels, 1, rng=rng)
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.relu(self.bn1(self.conv1(x)))
+        hidden = self.bn2(self.conv2(hidden))
+        shortcut = self.shortcut(x) if self.shortcut is not None else x
+        return self.relu(hidden + shortcut)
+
+
+class ResNet1d(Module):
+    """Small ResNet-18-flavoured 1-D network (backbone ablation)."""
+
+    def __init__(self, in_channels: int, channels: list[int],
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        blocks = []
+        previous = in_channels
+        for width in channels:
+            blocks.append(ResNetBlock1d(previous, width, rng=rng))
+            previous = width
+        self.blocks = ModuleList(blocks)
+        self.out_channels = previous
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+
+class MaxPool1d(Module):
+    """Non-overlapping max pooling over the time axis of ``(N, C, L)``."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, length = x.shape
+        k = self.kernel_size
+        usable = (length // k) * k
+        if usable == 0:
+            raise ValueError("input shorter than pooling kernel")
+        trimmed = x[:, :, :usable]
+        return trimmed.reshape(n, c, usable // k, k).max(axis=-1)
+
+
+class GlobalAveragePool1d(Module):
+    """Average over the time axis: ``(N, C, L)`` -> ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=-1)

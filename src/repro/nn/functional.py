@@ -1,0 +1,97 @@
+"""Functional (stateless) neural-network operations.
+
+These compose the primitive autograd ops in :mod:`repro.nn.tensor` into the
+higher-level operations the library needs: stable softmax, GELU, dropout,
+normalisation and similarity measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "dropout",
+    "one_hot",
+    "cosine_similarity",
+    "normalize",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    The max-shift term is detached: it is constant w.r.t. the gradient of
+    softmax, so excluding it from the graph is exact and cheaper.
+    """
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit, exact (erf) formulation."""
+    return x * (x / np.sqrt(2.0)).erf().__add__(1.0) * 0.5
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero elements with probability ``p`` and rescale.
+
+    Dropout is the *only* source of stochasticity TimeDRL uses to create the
+    two contrastive views (paper Section IV-C), so the mask RNG is threaded
+    explicitly for reproducibility.
+    """
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    return x * Tensor(mask)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to a one-hot float matrix ``(N, num_classes)``."""
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """L2-normalise ``x`` along ``axis``."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity along ``axis`` (keeps the reduced axis collapsed)."""
+    a, b = as_tensor(a), as_tensor(b)
+    return (normalize(a, axis=axis, eps=eps) * normalize(b, axis=axis, eps=eps)).sum(axis=axis)

@@ -1,0 +1,49 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that model
+construction is fully reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "ones"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init; fan counts use the last two axes."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init for ReLU-family activations."""
+    fan_in, __ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small-std Gaussian init (BERT-style, used for [CLS] / positional)."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[1], shape[0]
+    # Conv kernels (out_channels, in_channels, kernel) and beyond: receptive
+    # field multiplies both fans.
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

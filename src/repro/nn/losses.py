@@ -1,0 +1,194 @@
+"""Loss functions used by TimeDRL and every baseline.
+
+Includes the paper's losses (MSE reconstruction, negative cosine similarity
+with stop-gradient) plus the contrastive losses the baselines require
+(NT-Xent, triplet, hierarchical contrastive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "negative_cosine_similarity",
+    "nt_xent_loss",
+    "triplet_loss",
+    "hierarchical_contrastive_loss",
+]
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (paper Eq. 6/20)."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error (paper Eq. 21)."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss — quadratic near zero, linear in the tails."""
+    diff = (as_tensor(prediction) - as_tensor(target)).abs()
+    quadratic = diff * diff * 0.5
+    linear = diff * delta - 0.5 * delta * delta
+    from .tensor import where
+
+    return where(diff.data <= delta, quadratic, linear).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer labels ``(N,)``."""
+    logits = as_tensor(logits)
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically stable BCE on raw logits.
+
+    ``loss = -t·log σ(x) - (1-t)·log σ(-x)``, computed via the stable
+    log-sigmoid.  ``targets`` may be an ndarray or Tensor of 0/1 floats.
+    """
+    logits = as_tensor(logits)
+    targets = as_tensor(targets).detach()
+    positive = _log_sigmoid(logits)
+    negative = _log_sigmoid(-logits)
+    return -(targets * positive + (1.0 - targets) * negative).mean()
+
+
+def negative_cosine_similarity(predicted: Tensor, target: Tensor) -> Tensor:
+    """SimSiam-style loss (paper Eq. 16/17).
+
+    ``target`` is detached inside this function — the caller never needs to
+    remember the stop-gradient, which the paper's Table IX shows is the
+    difference between learning and collapse.
+    """
+    target = as_tensor(target).stop_gradient()
+    return -F.cosine_similarity(predicted, target, axis=-1).mean()
+
+
+def nt_xent_loss(z1: Tensor, z2: Tensor, temperature: float = 0.5) -> Tensor:
+    """Normalised-temperature cross-entropy (SimCLR).
+
+    ``z1[i]``/``z2[i]`` are positives; all other samples in the (2N) batch
+    are negatives.
+    """
+    from .tensor import concatenate
+
+    z = concatenate([z1, z2], axis=0)
+    z = F.normalize(z, axis=-1)
+    n = z1.shape[0]
+    sim = (z @ z.transpose()) / temperature
+    # Mask self-similarity with a large negative constant (detached).
+    mask = np.eye(2 * n, dtype=bool)
+    sim = sim + Tensor(np.where(mask, -1e9, 0.0).astype(np.float32))
+    targets = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    return cross_entropy(sim, targets)
+
+
+def triplet_loss(anchor: Tensor, positive: Tensor, negatives: Tensor) -> Tensor:
+    """T-Loss objective (Franceschi et al., 2019).
+
+    ``-log sigma(a . p) - sum_k log sigma(-a . n_k)`` with dot products over
+    the embedding axis.  ``negatives`` has shape ``(N, K, D)``.
+    """
+    pos_score = (anchor * positive).sum(axis=-1)
+    pos_term = -_log_sigmoid(pos_score).mean()
+    neg_score = (anchor.reshape(anchor.shape[0], 1, anchor.shape[1]) * negatives).sum(axis=-1)
+    neg_term = -_log_sigmoid(-neg_score).mean()
+    return pos_term + neg_term
+
+
+def _log_sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable ``log(sigmoid(x)) = -softplus(-x)``."""
+    from .tensor import maximum
+
+    zero = Tensor(np.zeros_like(x.data))
+    # softplus(u) = max(u, 0) + log1p(exp(-|u|)); here u = -x.
+    u = -x
+    stable = maximum(u, zero) + ((-(u.abs())).exp() + 1.0).log()
+    return -stable
+
+
+def hierarchical_contrastive_loss(z1: Tensor, z2: Tensor, alpha: float = 0.5,
+                                  max_depth: int = 8) -> Tensor:
+    """TS2Vec's multi-scale loss: temporal + instance contrast, max-pooled
+    over time between levels.
+
+    ``z1``/``z2``: two augmented views, shape ``(N, T, D)``.
+    """
+    total: Tensor | None = None
+    depth = 0
+    while z1.shape[1] > 1 and depth < max_depth:
+        level = alpha * _instance_contrast(z1, z2) + (1 - alpha) * _temporal_contrast(z1, z2)
+        total = level if total is None else total + level
+        z1 = _max_pool_time(z1)
+        z2 = _max_pool_time(z2)
+        depth += 1
+    if depth == 0:
+        return alpha * _instance_contrast(z1, z2)
+    return total / depth
+
+
+def _max_pool_time(z: Tensor) -> Tensor:
+    """Halve the time axis with non-overlapping max pooling (kernel 2)."""
+    n, t, d = z.shape
+    if t % 2 == 1:
+        z = z[:, : t - 1, :]
+        t -= 1
+    from .tensor import maximum
+
+    left = z[:, 0:t:2, :]
+    right = z[:, 1:t:2, :]
+    return maximum(left, right)
+
+
+def _instance_contrast(z1: Tensor, z2: Tensor) -> Tensor:
+    """Contrast the same timestamp across instances in the batch."""
+    n = z1.shape[0]
+    if n <= 1:
+        return Tensor(np.zeros(()))
+    from .tensor import concatenate
+
+    z = concatenate([z1, z2], axis=0)  # (2N, T, D)
+    z = z.transpose(1, 0, 2)  # (T, 2N, D)
+    sim = z @ z.transpose(0, 2, 1)  # (T, 2N, 2N)
+    mask = np.eye(2 * n, dtype=bool)[None, :, :]
+    sim = sim + Tensor(np.where(mask, -1e9, 0.0).astype(np.float32))
+    log_probs = F.log_softmax(sim, axis=-1)
+    idx = np.arange(2 * n)
+    pos = np.concatenate([idx[n:], idx[:n]])
+    picked = log_probs[:, idx, pos]
+    return -picked.mean()
+
+
+def _temporal_contrast(z1: Tensor, z2: Tensor) -> Tensor:
+    """Contrast the same instance across timestamps."""
+    t = z1.shape[1]
+    if t <= 1:
+        return Tensor(np.zeros(()))
+    from .tensor import concatenate
+
+    z = concatenate([z1, z2], axis=1)  # (N, 2T, D)
+    sim = z @ z.transpose(0, 2, 1)  # (N, 2T, 2T)
+    mask = np.eye(2 * t, dtype=bool)[None, :, :]
+    sim = sim + Tensor(np.where(mask, -1e9, 0.0).astype(np.float32))
+    log_probs = F.log_softmax(sim, axis=-1)
+    idx = np.arange(2 * t)
+    pos = np.concatenate([idx[t:], idx[:t]])
+    picked = log_probs[:, idx, pos]
+    return -picked.mean()

@@ -1,0 +1,197 @@
+"""Module system: ``Parameter``, ``Module`` and ``Sequential``.
+
+Mirrors the familiar PyTorch ergonomics (attribute registration,
+``parameters()``, ``train()``/``eval()``, ``state_dict``) on top of the
+NumPy autograd :class:`~repro.nn.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration is automatic via ``__setattr__``.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All unique parameters in this module tree, depth-first."""
+        seen: set[int] = set()
+        result: list[Parameter] = []
+        for __, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                result.append(param)
+        return result
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode switching and gradient housekeeping
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter plus every registered buffer."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buffer in self.named_buffers():
+            state[name] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters/buffers in-place; shapes must match exactly."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        for name, value in state.items():
+            if name in own_params:
+                target = own_params[name].data
+            elif name in own_buffers:
+                target = own_buffers[name]
+            else:
+                raise KeyError(f"unexpected key in state_dict: {name!r}")
+            if target.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {target.shape} vs {value.shape}"
+                )
+            target[...] = value
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        if missing:
+            raise KeyError(f"missing keys in state_dict: {sorted(missing)}")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Non-trainable persistent arrays (e.g. BatchNorm running stats)."""
+        for name in getattr(self, "_buffer_names", ()):
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        if not hasattr(self, "_buffer_names"):
+            object.__setattr__(self, "_buffer_names", [])
+        self._buffer_names.append(name)
+        object.__setattr__(self, name, value)
+
+    def save(self, path: str) -> None:
+        """Persist the state dict to an ``.npz`` archive."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load a state dict previously written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({key: archive[key] for key in archive.files})
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+
+class ModuleList(Module):
+    """Hold an ordered list of sub-modules (no implicit forward)."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._order: list[str] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        name = f"item{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])

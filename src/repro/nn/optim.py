@@ -1,0 +1,192 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper trains every model with AdamW (decoupled weight decay,
+Loshchilov & Hutter 2017); SGD and Adam are provided for baselines and
+ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "CosineScheduler",
+    "WarmupCosineScheduler",
+    "StepScheduler",
+    "clip_grad_norm",
+]
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and clears gradients."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with the classic L2-regularisation-style weight decay."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step_count
+        bias2 = 1.0 - beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with *decoupled* weight decay (the paper's optimizer)."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 1e-2):
+        super().__init__(parameters, lr, betas, eps, weight_decay=0.0)
+        self.decoupled_weight_decay = weight_decay
+
+    def step(self) -> None:
+        if self.decoupled_weight_decay:
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.data -= self.lr * self.decoupled_weight_decay * param.data
+        super().step()
+
+
+class CosineScheduler:
+    """Cosine decay of the learning rate from ``base_lr`` to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.min_lr = min_lr
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        self._step_count = min(self._step_count + 1, self.total_steps)
+        progress = self._step_count / self.total_steps
+        lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
+        self.optimizer.lr = float(lr)
+        return self.optimizer.lr
+
+
+class WarmupCosineScheduler:
+    """Linear warmup followed by cosine decay — the standard Transformer
+    pre-training schedule."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int,
+                 min_lr: float = 0.0):
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.min_lr = min_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        self._step_count = min(self._step_count + 1, self.total_steps)
+        if self._step_count <= self.warmup_steps and self.warmup_steps > 0:
+            lr = self.base_lr * self._step_count / self.warmup_steps
+        else:
+            progress = (self._step_count - self.warmup_steps) / (
+                self.total_steps - self.warmup_steps)
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+                1 + np.cos(np.pi * progress))
+        self.optimizer.lr = float(lr)
+        return self.optimizer.lr
+
+
+class StepScheduler:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._step_count = 0
+
+    def step(self) -> float:
+        self._step_count += 1
+        if self._step_count % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip the global gradient L2 norm in-place; returns the pre-clip norm."""
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= scale
+    return total

@@ -1,0 +1,130 @@
+"""Recurrent layers: LSTM and bidirectional LSTM.
+
+Used for the backbone ablation (paper Table VIII).  Time steps are unrolled
+in Python, which is fine at the sequence lengths this reproduction runs
+(patched inputs are short by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module, Parameter
+from . import init
+from .tensor import Tensor, concatenate, stack
+
+__all__ = ["LSTM", "BiLSTM", "GRU"]
+
+
+class LSTMCell(Module):
+    """Single LSTM cell with fused gate weights."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((4 * hidden_size, hidden_size), rng))
+        bias = np.zeros(4 * hidden_size, dtype=np.float32)
+        bias[hidden_size: 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = x @ self.weight_ih.transpose() + h_prev @ self.weight_hh.transpose() + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs: 1 * hs].sigmoid()
+        f = gates[:, 1 * hs: 2 * hs].sigmoid()
+        g = gates[:, 2 * hs: 3 * hs].tanh()
+        o = gates[:, 3 * hs: 4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+
+class LSTM(Module):
+    """Uni-directional LSTM over ``(N, T, C)`` inputs, returning all hidden
+    states ``(N, T, hidden_size)``."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, __ = x.shape
+        h = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        c = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        outputs = []
+        for step in range(t):
+            h, c = self.cell(x[:, step, :], (h, c))
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+
+class GRUCell(Module):
+    """Single GRU cell with fused gate weights."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((3 * hidden_size, input_size), rng))
+        self.weight_hh = Parameter(init.xavier_uniform((3 * hidden_size, hidden_size), rng))
+        self.bias = Parameter(np.zeros(3 * hidden_size, dtype=np.float32))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gates_x = x @ self.weight_ih.transpose() + self.bias
+        gates_h = h_prev @ self.weight_hh.transpose()
+        reset = (gates_x[:, 0 * hs: 1 * hs] + gates_h[:, 0 * hs: 1 * hs]).sigmoid()
+        update = (gates_x[:, 1 * hs: 2 * hs] + gates_h[:, 1 * hs: 2 * hs]).sigmoid()
+        candidate = (gates_x[:, 2 * hs: 3 * hs]
+                     + reset * gates_h[:, 2 * hs: 3 * hs]).tanh()
+        return update * h_prev + (1.0 - update) * candidate
+
+
+class GRU(Module):
+    """Uni-directional GRU over ``(N, T, C)`` inputs, returning all hidden
+    states ``(N, T, hidden_size)``."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, __ = x.shape
+        h = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        outputs = []
+        for step in range(t):
+            h = self.cell(x[:, step, :], h)
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: forward and backward passes concatenated, then
+    projected back to ``hidden_size`` so the output width matches
+    :class:`LSTM` (keeps the backbone ablation apples-to-apples)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.forward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng=rng)
+        from .layers import Linear
+
+        self.merge = Linear(2 * hidden_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        forward_states = self.forward_lstm(x)
+        reversed_input = x[:, ::-1, :]
+        backward_states = self.backward_lstm(reversed_input)[:, ::-1, :]
+        return self.merge(concatenate([forward_states, backward_states], axis=-1))

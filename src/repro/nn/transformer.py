@@ -1,0 +1,93 @@
+"""Transformer encoder stack (the TimeDRL backbone) and causal variant.
+
+Post-norm layout as in the original Transformer / BERT: each sub-layer is
+``x + Dropout(sublayer(x))`` followed by LayerNorm.  The dropout layers are
+the randomness source for TimeDRL's two contrastive views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention, causal_mask
+from .layers import Dropout, GELU, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "LearnablePositionalEncoding",
+]
+
+
+class TransformerEncoderLayer(Module):
+    """One Transformer block: self-attention + position-wise FFN."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int | None = None,
+                 dropout: float = 0.1, causal: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        d_ff = d_ff or 4 * d_model
+        self.causal = causal
+        self.attention = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ff1 = Linear(d_model, d_ff, rng=rng)
+        self.ff2 = Linear(d_ff, d_model, rng=rng)
+        self.activation = GELU()
+        self.dropout1 = Dropout(dropout, rng=rng)
+        self.dropout2 = Dropout(dropout, rng=rng)
+        self.ff_dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mask = causal_mask(x.shape[1]) if self.causal else None
+        attended = self.attention(x, attn_mask=mask)
+        x = self.norm1(x + self.dropout1(attended))
+        hidden = self.ff2(self.ff_dropout(self.activation(self.ff1(x))))
+        return self.norm2(x + self.dropout2(hidden))
+
+
+class TransformerEncoder(Module):
+    """Stack of ``num_layers`` encoder blocks.
+
+    With ``causal=True`` this becomes the "Transformer Decoder" ablation of
+    the paper's Table VIII: identical parameter count, masked self-attention.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, num_layers: int,
+                 d_ff: int | None = None, dropout: float = 0.1,
+                 causal: bool = False, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(d_model, num_heads, d_ff=d_ff,
+                                    dropout=dropout, causal=causal, rng=rng)
+            for __ in range(num_layers)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class LearnablePositionalEncoding(Module):
+    """Learnable additive positional embedding ``PE ∈ R^{max_len × d_model}``
+    (paper Eq. 3)."""
+
+    def __init__(self, max_len: int, d_model: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.max_len = max_len
+        self.weight = Parameter(init.normal((max_len, d_model), rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[-2]
+        if length > self.max_len:
+            raise ValueError(
+                f"sequence length {length} exceeds positional table ({self.max_len})"
+            )
+        return x + self.weight[:length, :]

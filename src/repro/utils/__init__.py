@@ -1,0 +1,5 @@
+"""``repro.utils`` — training utilities shared by experiments and examples."""
+
+from .training import EarlyStopping, MetricTracker, Timer, set_global_seed
+
+__all__ = ["EarlyStopping", "MetricTracker", "Timer", "set_global_seed"]

@@ -1,0 +1,123 @@
+"""Training utilities: early stopping, metric tracking, timing, seeding."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+__all__ = ["EarlyStopping", "MetricTracker", "Timer", "set_global_seed"]
+
+
+def set_global_seed(seed: int) -> np.random.Generator:
+    """Seed NumPy's legacy global RNG *and* return a fresh Generator.
+
+    The library itself threads explicit Generators everywhere; this helper
+    exists for user scripts that also rely on the global state.
+    """
+    np.random.seed(seed)
+    return np.random.default_rng(seed)
+
+
+class EarlyStopping:
+    """Stop when a monitored metric stops improving.
+
+    Example
+    -------
+    >>> stopper = EarlyStopping(patience=3, mode="min")
+    >>> for epoch in range(100):
+    ...     if stopper.step(validation_loss):
+    ...         break
+    """
+
+    def __init__(self, patience: int = 5, mode: str = "min", min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best: float | None = None
+        self.best_step: int = -1
+        self._step_count = 0
+        self._stale = 0
+
+    def step(self, value: float) -> bool:
+        """Record a new metric value; returns True when training should stop."""
+        improved = self.best is None or (
+            value < self.best - self.min_delta if self.mode == "min"
+            else value > self.best + self.min_delta)
+        if improved:
+            self.best = value
+            self.best_step = self._step_count
+            self._stale = 0
+        else:
+            self._stale += 1
+        self._step_count += 1
+        return self._stale >= self.patience
+
+    @property
+    def should_stop(self) -> bool:
+        return self._stale >= self.patience
+
+
+class MetricTracker:
+    """Accumulate scalar metrics over steps/epochs and export them.
+
+    Keeps per-key histories; ``summary`` reports last/best/mean, ``save``
+    writes a JSON artifact next to experiment results.
+    """
+
+    def __init__(self):
+        self.history: dict[str, list[float]] = {}
+
+    def log(self, **metrics: float) -> None:
+        for key, value in metrics.items():
+            self.history.setdefault(key, []).append(float(value))
+
+    def last(self, key: str) -> float:
+        return self.history[key][-1]
+
+    def best(self, key: str, mode: str = "min") -> float:
+        values = self.history[key]
+        return min(values) if mode == "min" else max(values)
+
+    def mean(self, key: str) -> float:
+        return float(np.mean(self.history[key]))
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {
+            key: {"last": values[-1], "min": min(values), "max": max(values),
+                  "mean": float(np.mean(values)), "count": len(values)}
+            for key, values in self.history.items()
+        }
+
+    def save(self, path) -> None:
+        payload = {"history": self.history, "summary": self.summary()}
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path) -> "MetricTracker":
+        tracker = cls()
+        payload = json.loads(pathlib.Path(path).read_text())
+        tracker.history = {k: list(map(float, v)) for k, v in payload["history"].items()}
+        return tracker
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self):
+        self.seconds: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        self._start = None

@@ -1,0 +1,7 @@
+"""``repro.viz`` — dependency-free SVG figure rendering for the paper's
+chart-style results (Figs. 4–6)."""
+
+from .figures import render_fig4, render_fig5, render_fig6
+from .svg import bar_chart, line_chart
+
+__all__ = ["line_chart", "bar_chart", "render_fig4", "render_fig5", "render_fig6"]

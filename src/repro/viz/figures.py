@@ -1,0 +1,69 @@
+"""Render the paper's chart-style results (Figs. 4–6) as SVG figures.
+
+Each renderer takes the :class:`~repro.experiments.tables.ResultTable`
+produced by the corresponding experiment driver and writes a figure that
+mirrors the paper's presentation:
+
+* Fig. 4 — grouped training-time bars per method;
+* Fig. 5 — metric-vs-label-fraction curves, supervised vs TimeDRL (FT);
+* Fig. 6 — metric-vs-λ curves (log-spaced sweep).
+"""
+
+from __future__ import annotations
+
+from ..experiments.tables import ResultTable
+from .svg import bar_chart, line_chart
+
+__all__ = ["render_fig4", "render_fig5", "render_fig6"]
+
+
+def render_fig4(table: ResultTable, path, dataset: str | None = None) -> str:
+    """Fig. 4: pre-training wall-clock bars for one dataset column."""
+    column = dataset or table.columns[0]
+    values = {row: table.get(row, column) for row in table.rows}
+    return bar_chart(values, path,
+                     title=f"Pre-training time on {column} (s)",
+                     y_label="seconds")
+
+
+def _fraction_from_row(row: str) -> float:
+    """Parse 'Dataset @ 50%' rows into 0.5."""
+    label = row.split("@")[-1].strip().rstrip("%")
+    return float(label) / 100.0
+
+
+def render_fig5(table: ResultTable, path, dataset: str | None = None,
+                y_label: str = "metric") -> str:
+    """Fig. 5: supervised vs TimeDRL(FT) across label fractions.
+
+    ``dataset`` filters rows of a multi-dataset table (rows look like
+    ``"ETTh1 @ 10%"``); defaults to the first dataset present.
+    """
+    names = sorted({row.split("@")[0].strip() for row in table.rows})
+    chosen = dataset or names[0]
+    rows = [row for row in table.rows if row.split("@")[0].strip() == chosen]
+    if not rows:
+        raise KeyError(f"no rows for dataset {chosen!r}")
+    series = {
+        column: sorted((_fraction_from_row(row), table.get(row, column))
+                       for row in rows)
+        for column in table.columns
+    }
+    return line_chart(series, path,
+                      title=f"Semi-supervised learning on {chosen}",
+                      x_label="label fraction", y_label=y_label)
+
+
+def render_fig6(table: ResultTable, path, column: str | None = None) -> str:
+    """Fig. 6: λ sensitivity curve for one metric column (λ on log10 x)."""
+    import math
+
+    chosen = column or table.columns[0]
+    points = []
+    for row in table.rows:  # rows look like "lambda=0.001"
+        lam = float(row.split("=")[-1])
+        points.append((math.log10(lam), table.get(row, chosen)))
+    series = {chosen: sorted(points)}
+    return line_chart(series, path,
+                      title=f"Sensitivity to lambda — {chosen}",
+                      x_label="log10 lambda", y_label=chosen)

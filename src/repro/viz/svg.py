@@ -1,0 +1,168 @@
+"""Dependency-free SVG chart rendering.
+
+The paper presents Figs. 4–6 as charts; this module turns the benchmark
+harness's :class:`~repro.experiments.tables.ResultTable` data into real
+figures without any plotting dependency (no matplotlib in this
+environment).  Output is plain SVG 1.1, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+
+__all__ = ["line_chart", "bar_chart"]
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN = {"left": 70, "right": 20, "top": 40, "bottom": 60}
+_PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+            "#e377c2", "#7f7f7f"]
+
+
+def _escape(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Round tick positions covering [low, high]."""
+    if math.isclose(low, high):
+        return [low]
+    span = high - low
+    step = 10 ** math.floor(math.log10(span / max(count - 1, 1)))
+    for multiplier in (1, 2, 5, 10):
+        if span / (step * multiplier) <= count:
+            step *= multiplier
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    tick = start
+    while tick <= high + step * 0.5:
+        if tick >= low - step * 0.5:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [low, high]
+
+
+class _Canvas:
+    """Accumulates SVG elements with a shared data-to-pixel transform."""
+
+    def __init__(self, title: str, x_low: float, x_high: float,
+                 y_low: float, y_high: float, x_label: str, y_label: str):
+        self.parts: list[str] = []
+        self.x_low, self.x_high = x_low, x_high
+        self.y_low, self.y_high = y_low, y_high
+        self._plot_width = _WIDTH - _MARGIN["left"] - _MARGIN["right"]
+        self._plot_height = _HEIGHT - _MARGIN["top"] - _MARGIN["bottom"]
+        self._frame(title, x_label, y_label)
+
+    def x_pixel(self, x: float) -> float:
+        span = self.x_high - self.x_low or 1.0
+        return _MARGIN["left"] + (x - self.x_low) / span * self._plot_width
+
+    def y_pixel(self, y: float) -> float:
+        span = self.y_high - self.y_low or 1.0
+        return _MARGIN["top"] + (1 - (y - self.y_low) / span) * self._plot_height
+
+    def _frame(self, title: str, x_label: str, y_label: str) -> None:
+        self.parts.append(
+            f'<rect x="{_MARGIN["left"]}" y="{_MARGIN["top"]}" '
+            f'width="{self._plot_width}" height="{self._plot_height}" '
+            f'fill="none" stroke="#333"/>')
+        self.parts.append(
+            f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-size="16" font-family="sans-serif">{_escape(title)}</text>')
+        self.parts.append(
+            f'<text x="{_WIDTH / 2}" y="{_HEIGHT - 12}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">{_escape(x_label)}</text>')
+        self.parts.append(
+            f'<text x="16" y="{_HEIGHT / 2}" text-anchor="middle" font-size="12" '
+            f'font-family="sans-serif" transform="rotate(-90 16 {_HEIGHT / 2})">'
+            f'{_escape(y_label)}</text>')
+        for tick in _nice_ticks(self.y_low, self.y_high):
+            y = self.y_pixel(tick)
+            self.parts.append(
+                f'<line x1="{_MARGIN["left"] - 4}" y1="{y:.1f}" '
+                f'x2="{_MARGIN["left"]}" y2="{y:.1f}" stroke="#333"/>')
+            self.parts.append(
+                f'<text x="{_MARGIN["left"] - 8}" y="{y + 4:.1f}" '
+                f'text-anchor="end" font-size="10" font-family="sans-serif">'
+                f'{tick:g}</text>')
+
+    def legend(self, names: list[str]) -> None:
+        for index, name in enumerate(names):
+            color = _PALETTE[index % len(_PALETTE)]
+            y = _MARGIN["top"] + 14 + 16 * index
+            x = _WIDTH - _MARGIN["right"] - 150
+            self.parts.append(
+                f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{color}"/>')
+            self.parts.append(
+                f'<text x="{x + 16}" y="{y}" font-size="11" '
+                f'font-family="sans-serif">{_escape(name)}</text>')
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+                f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}">\n'
+                f'{body}\n</svg>\n')
+
+
+def line_chart(series: dict[str, list[tuple[float, float]]], path,
+               title: str = "", x_label: str = "", y_label: str = "",
+               log_y: bool = False) -> str:
+    """Write a multi-series line chart; returns the SVG text.
+
+    ``series`` maps a legend name to ``[(x, y), ...]`` points.
+    """
+    if not series or not any(series.values()):
+        raise ValueError("need at least one non-empty series")
+    points = [(x, math.log10(y) if log_y else y)
+              for pts in series.values() for x, y in pts]
+    xs, ys = zip(*points)
+    canvas = _Canvas(title, min(xs), max(xs), min(ys), max(ys),
+                     x_label, (f"log10 {y_label}" if log_y else y_label))
+    for index, (name, pts) in enumerate(series.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        coords = " ".join(
+            f"{canvas.x_pixel(x):.1f},{canvas.y_pixel(math.log10(y) if log_y else y):.1f}"
+            for x, y in pts)
+        canvas.parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+        for x, y in pts:
+            canvas.parts.append(
+                f'<circle cx="{canvas.x_pixel(x):.1f}" '
+                f'cy="{canvas.y_pixel(math.log10(y) if log_y else y):.1f}" '
+                f'r="3" fill="{color}"/>')
+    canvas.legend(list(series))
+    text = canvas.render()
+    pathlib.Path(path).write_text(text)
+    return text
+
+
+def bar_chart(values: dict[str, float], path, title: str = "",
+              y_label: str = "") -> str:
+    """Write a labelled bar chart; returns the SVG text."""
+    if not values:
+        raise ValueError("need at least one bar")
+    y_high = max(max(values.values()), 0.0)
+    y_low = min(min(values.values()), 0.0)
+    canvas = _Canvas(title, 0, len(values), y_low, y_high or 1.0, "", y_label)
+    plot_width = _WIDTH - _MARGIN["left"] - _MARGIN["right"]
+    bar_width = plot_width / len(values) * 0.6
+    for index, (name, value) in enumerate(values.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        x_center = canvas.x_pixel(index + 0.5)
+        y_top = canvas.y_pixel(max(value, 0.0))
+        y_zero = canvas.y_pixel(max(y_low, 0.0) if y_low > 0 else 0.0)
+        height = abs(y_zero - y_top) or 1.0
+        canvas.parts.append(
+            f'<rect x="{x_center - bar_width / 2:.1f}" y="{min(y_top, y_zero):.1f}" '
+            f'width="{bar_width:.1f}" height="{height:.1f}" fill="{color}"/>')
+        canvas.parts.append(
+            f'<text x="{x_center:.1f}" y="{_HEIGHT - _MARGIN["bottom"] + 16}" '
+            f'text-anchor="middle" font-size="10" font-family="sans-serif">'
+            f'{_escape(name)}</text>')
+    text = canvas.render()
+    pathlib.Path(path).write_text(text)
+    return text

@@ -1,0 +1,71 @@
+"""Tests for the k-means substrate used by MHCCL and CCL."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import assign_clusters, kmeans
+
+
+def _blobs(k=3, per=40, spread=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-5, 5, size=(k, 4))
+    points = np.concatenate([
+        centers[i] + spread * rng.standard_normal((per, 4)) for i in range(k)
+    ])
+    labels = np.repeat(np.arange(k), per)
+    return points.astype(np.float32), labels, centers
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, labels, __ = _blobs()
+        __, assignments = kmeans(points, 3, iters=20, rng=np.random.default_rng(0))
+        # Cluster ids are arbitrary: check purity instead.
+        purity = 0
+        for cluster in range(3):
+            members = labels[assignments == cluster]
+            if len(members):
+                purity += np.bincount(members).max()
+        assert purity / len(labels) > 0.95
+
+    def test_centroid_shapes(self):
+        points, __, __ = _blobs()
+        centroids, assignments = kmeans(points, 5, rng=np.random.default_rng(0))
+        assert centroids.shape == (5, 4)
+        assert assignments.shape == (len(points),)
+        assert assignments.max() < 5
+
+    def test_k_clamped_to_n(self):
+        points = np.random.default_rng(0).standard_normal((3, 2))
+        centroids, assignments = kmeans(points, 10, rng=np.random.default_rng(0))
+        assert centroids.shape[0] == 3
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((20, 3), dtype=np.float32)
+        centroids, assignments = kmeans(points, 4, rng=np.random.default_rng(0))
+        assert np.isfinite(centroids).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2)
+
+    def test_deterministic_given_rng(self):
+        points, __, __ = _blobs(seed=3)
+        a = kmeans(points, 3, rng=np.random.default_rng(9))
+        b = kmeans(points, 3, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestAssignClusters:
+    def test_nearest_centroid(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        points = np.array([[1.0, 1.0], [9.0, 9.0], [0.1, -0.2]])
+        np.testing.assert_array_equal(assign_clusters(points, centroids), [0, 1, 0])
+
+    def test_consistent_with_kmeans_output(self):
+        points, __, __ = _blobs()
+        centroids, assignments = kmeans(points, 3, rng=np.random.default_rng(0))
+        reassigned = assign_clusters(points, centroids)
+        np.testing.assert_array_equal(assignments, reassigned)

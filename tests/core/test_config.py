@@ -1,0 +1,69 @@
+"""Tests for TimeDRLConfig / PretrainConfig validation and derived values."""
+
+import pytest
+
+from repro.core import PretrainConfig, TimeDRLConfig
+
+
+class TestTimeDRLConfig:
+    def test_defaults_are_valid(self):
+        config = TimeDRLConfig()
+        assert config.backbone == "transformer"
+        assert config.pooling == "cls"
+
+    def test_num_patches_non_overlapping(self):
+        config = TimeDRLConfig(seq_len=64, patch_len=8, stride=8)
+        assert config.num_patches == 8
+
+    def test_num_patches_overlapping(self):
+        config = TimeDRLConfig(seq_len=64, patch_len=16, stride=8)
+        assert config.num_patches == 7
+
+    def test_num_patches_with_remainder(self):
+        config = TimeDRLConfig(seq_len=70, patch_len=8, stride=8)
+        assert config.num_patches == 8  # trailing 6 steps dropped
+
+    def test_token_dim_channel_mixing(self):
+        config = TimeDRLConfig(input_channels=7, patch_len=8)
+        assert config.token_dim == 56
+
+    def test_token_dim_channel_independent(self):
+        config = TimeDRLConfig(input_channels=7, patch_len=8,
+                               channel_independence=True)
+        assert config.token_dim == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"backbone": "mamba"},
+        {"pooling": "attention"},
+        {"patch_len": 0},
+        {"stride": 0},
+        {"seq_len": 4, "patch_len": 8},
+        {"lambda_weight": -1.0},
+    ])
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            TimeDRLConfig(**kwargs)
+
+    def test_all_backbones_accepted(self):
+        for backbone in ("transformer", "transformer_decoder", "resnet",
+                         "tcn", "lstm", "bilstm"):
+            TimeDRLConfig(backbone=backbone)
+
+    def test_all_poolings_accepted(self):
+        for pooling in ("cls", "last", "gap", "all"):
+            TimeDRLConfig(pooling=pooling)
+
+
+class TestPretrainConfig:
+    def test_defaults(self):
+        config = PretrainConfig()
+        assert config.epochs >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"epochs": 0},
+        {"batch_size": 0},
+        {"learning_rate": 0.0},
+    ])
+    def test_invalid_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            PretrainConfig(**kwargs)

@@ -1,0 +1,150 @@
+"""Tests for the TimeDRL encoder f_θ (Eq. 2–5) and the backbone factory."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeDRLConfig
+from repro.core.encoder import TimeDRLEncoder, build_backbone
+from repro.nn import Tensor
+
+
+def _config(**overrides):
+    params = dict(seq_len=32, input_channels=3, patch_len=8, stride=8,
+                  d_model=16, num_heads=2, num_layers=1, seed=0)
+    params.update(overrides)
+    return TimeDRLConfig(**params)
+
+
+def _patched(config, n=4, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, config.num_patches, config.token_dim)).astype(np.float32)
+
+
+class TestForward:
+    def test_output_shape_includes_cls(self):
+        config = _config()
+        encoder = TimeDRLEncoder(config)
+        z = encoder(_patched(config))
+        assert z.shape == (4, 1 + config.num_patches, config.d_model)
+
+    def test_split_shapes(self):
+        config = _config()
+        encoder = TimeDRLEncoder(config)
+        z_i, z_t = encoder.split(encoder(_patched(config)))
+        assert z_i.shape == (4, config.d_model)
+        assert z_t.shape == (4, config.num_patches, config.d_model)
+
+    def test_rejects_wrong_token_width(self):
+        encoder = TimeDRLEncoder(_config())
+        with pytest.raises(ValueError, match="token width"):
+            encoder(np.zeros((2, 4, 99), dtype=np.float32))
+
+    def test_rejects_wrong_rank(self):
+        encoder = TimeDRLEncoder(_config())
+        with pytest.raises(ValueError):
+            encoder(np.zeros((4, 24), dtype=np.float32))
+
+    def test_cls_token_is_learnable(self):
+        config = _config()
+        encoder = TimeDRLEncoder(config)
+        encoder.eval()
+        z = encoder(Tensor(_patched(config)))
+        (z[:, 0, :] ** 2).mean().backward()
+        assert encoder.cls_token.grad is not None
+
+    def test_two_train_passes_differ_eval_passes_match(self):
+        """Dropout randomness is the whole augmentation story (Eq. 10–11)."""
+        config = _config(dropout=0.2)
+        encoder = TimeDRLEncoder(config)
+        x = _patched(config)
+        encoder.train()
+        assert not np.allclose(encoder(x).data, encoder(x).data)
+        encoder.eval()
+        np.testing.assert_array_equal(encoder(x).data, encoder(x).data)
+
+
+class TestPrepareInput:
+    def test_channel_mixing_shape(self):
+        config = _config()
+        encoder = TimeDRLEncoder(config)
+        out = encoder.prepare_input(np.zeros((4, 32, 3), dtype=np.float32))
+        assert out.shape == (4, config.num_patches, 24)
+
+    def test_channel_independent_shape(self):
+        config = _config(channel_independence=True)
+        encoder = TimeDRLEncoder(config)
+        out = encoder.prepare_input(np.zeros((4, 32, 3), dtype=np.float32))
+        assert out.shape == (12, config.num_patches, 8)
+
+    def test_input_is_instance_normalised(self):
+        config = _config()
+        encoder = TimeDRLEncoder(config)
+        x = np.random.default_rng(0).standard_normal((4, 32, 3)).astype(np.float32)
+        shifted = (x + 100.0).astype(np.float32)
+        np.testing.assert_allclose(encoder.prepare_input(x),
+                                   encoder.prepare_input(shifted), atol=1e-3)
+
+    def test_rejects_wrong_rank(self):
+        encoder = TimeDRLEncoder(_config())
+        with pytest.raises(ValueError):
+            encoder.prepare_input(np.zeros((32, 3)))
+
+
+class TestEncodeSeries:
+    def test_returns_ndarrays(self):
+        config = _config()
+        encoder = TimeDRLEncoder(config)
+        z_i, z_t = encoder.encode_series(np.zeros((4, 32, 3), dtype=np.float32))
+        assert isinstance(z_i, np.ndarray) and isinstance(z_t, np.ndarray)
+        assert z_i.shape == (4, 16)
+        assert z_t.shape == (4, config.num_patches, 16)
+
+    def test_restores_training_mode(self):
+        encoder = TimeDRLEncoder(_config())
+        encoder.train()
+        encoder.encode_series(np.zeros((2, 32, 3), dtype=np.float32))
+        assert encoder.training
+
+
+class TestBackboneFactory:
+    @pytest.mark.parametrize("backbone", ["transformer", "transformer_decoder",
+                                          "resnet", "tcn", "lstm", "bilstm"])
+    def test_all_backbones_preserve_interface(self, backbone):
+        config = _config(backbone=backbone)
+        net = build_backbone(config, np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal(
+            (2, 5, config.d_model)).astype(np.float32))
+        out = net(x)
+        assert out.shape == (2, 5, config.d_model)
+
+    @pytest.mark.parametrize("backbone", ["transformer", "transformer_decoder",
+                                          "resnet", "tcn", "lstm", "bilstm"])
+    def test_full_encoder_with_each_backbone(self, backbone):
+        config = _config(backbone=backbone)
+        encoder = TimeDRLEncoder(config)
+        z = encoder(_patched(config))
+        assert z.shape == (4, 1 + config.num_patches, config.d_model)
+
+    def test_causal_decoder_blocks_future_tokens(self):
+        config = _config(backbone="transformer_decoder", dropout=0.0)
+        encoder = TimeDRLEncoder(config)
+        encoder.eval()
+        x = _patched(config)
+        base = encoder(x).data.copy()
+        perturbed = x.copy()
+        perturbed[:, -1, :] += 10.0
+        out = encoder(perturbed).data
+        # [CLS] is position 0: with causal attention it cannot see the
+        # perturbed final patch.
+        np.testing.assert_allclose(out[:, 0, :], base[:, 0, :], atol=1e-4)
+
+    def test_bidirectional_encoder_cls_sees_everything(self):
+        config = _config(backbone="transformer", dropout=0.0)
+        encoder = TimeDRLEncoder(config)
+        encoder.eval()
+        x = _patched(config)
+        base = encoder(x).data.copy()
+        perturbed = x.copy()
+        perturbed[:, -1, :] += 10.0
+        out = encoder(perturbed).data
+        assert not np.allclose(out[:, 0, :], base[:, 0, :])

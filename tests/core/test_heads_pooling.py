@@ -1,0 +1,94 @@
+"""Tests for the pretext-task heads and pooling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.heads import InstanceContrastiveHead, TimestampPredictiveHead
+from repro.core.pooling import instance_dim, pool_instance
+from repro.nn import BatchNorm1d, Linear, Tensor
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestTimestampPredictiveHead:
+    def test_reconstruction_shape(self):
+        head = TimestampPredictiveHead(d_model=16, token_dim=24, rng=_rng())
+        z_t = Tensor(_rng(1).standard_normal((4, 6, 16)).astype(np.float32))
+        out = head(z_t)
+        assert out.shape == (4, 6, 24)
+
+    def test_is_purely_linear(self):
+        """The paper: 'a linear layer without an activation function'."""
+        head = TimestampPredictiveHead(d_model=8, token_dim=8, rng=_rng())
+        a = Tensor(np.ones((1, 1, 8), dtype=np.float32))
+        b = Tensor(np.full((1, 1, 8), 2.0, dtype=np.float32))
+        sum_out = head(a).data + head(b).data
+        combined = head(Tensor(a.data + b.data)).data + head(
+            Tensor(np.zeros((1, 1, 8), dtype=np.float32))).data
+        np.testing.assert_allclose(sum_out, combined, rtol=1e-4, atol=1e-5)
+
+    def test_single_linear_submodule(self):
+        head = TimestampPredictiveHead(d_model=8, token_dim=8, rng=_rng())
+        assert isinstance(head.proj, Linear)
+
+
+class TestInstanceContrastiveHead:
+    def test_output_shape_preserved(self):
+        head = InstanceContrastiveHead(d_model=16, rng=_rng())
+        out = head(Tensor(_rng(1).standard_normal((4, 16)).astype(np.float32)))
+        assert out.shape == (4, 16)
+
+    def test_bottleneck_dimension(self):
+        head = InstanceContrastiveHead(d_model=16, bottleneck_ratio=4, rng=_rng())
+        first_linear = head.net[0]
+        assert first_linear.out_features == 4
+
+    def test_contains_batchnorm(self):
+        """The paper: 'a two-layer bottleneck MLP with BatchNorm and ReLU'."""
+        head = InstanceContrastiveHead(d_model=16, rng=_rng())
+        kinds = [type(m).__name__ for m in head.net]
+        assert kinds == ["Linear", "BatchNorm1d", "ReLU", "Linear"]
+        assert isinstance(head.net[1], BatchNorm1d)
+
+    def test_gradients_flow(self):
+        head = InstanceContrastiveHead(d_model=8, rng=_rng())
+        z = Tensor(_rng(1).standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        (head(z) ** 2).mean().backward()
+        assert z.grad is not None
+
+
+class TestPooling:
+    def setup_method(self):
+        rng = _rng(1)
+        self.z_i = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+        self.z_t = Tensor(rng.standard_normal((4, 5, 8)).astype(np.float32))
+
+    def test_cls_returns_cls_token(self):
+        out = pool_instance(self.z_i, self.z_t, "cls")
+        np.testing.assert_array_equal(out.data, self.z_i.data)
+
+    def test_last(self):
+        out = pool_instance(self.z_i, self.z_t, "last")
+        np.testing.assert_array_equal(out.data, self.z_t.data[:, -1, :])
+
+    def test_gap(self):
+        out = pool_instance(self.z_i, self.z_t, "gap")
+        np.testing.assert_allclose(out.data, self.z_t.data.mean(axis=1), rtol=1e-5)
+
+    def test_all_flattens(self):
+        out = pool_instance(self.z_i, self.z_t, "all")
+        assert out.shape == (4, 40)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            pool_instance(self.z_i, self.z_t, "attention")
+
+    def test_instance_dim(self):
+        assert instance_dim("cls", 8, 5) == 8
+        assert instance_dim("last", 8, 5) == 8
+        assert instance_dim("gap", 8, 5) == 8
+        assert instance_dim("all", 8, 5) == 40
+        with pytest.raises(ValueError):
+            instance_dim("bogus", 8, 5)

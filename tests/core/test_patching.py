@@ -1,0 +1,114 @@
+"""Tests for instance normalisation, patching (Eq. 1) and the
+channel-independence reshapes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    from_channel_independent,
+    instance_norm,
+    num_patches,
+    patchify,
+    to_channel_independent,
+    unpatchify,
+)
+
+
+def _batch(n=4, t=32, c=3, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, t, c)).astype(np.float32)
+
+
+class TestInstanceNorm:
+    def test_per_sample_per_channel_standardisation(self):
+        x = _batch() * 7 + np.array([5.0, -2.0, 0.0], dtype=np.float32)
+        out = instance_norm(x)
+        np.testing.assert_allclose(out.mean(axis=1), np.zeros((4, 3)), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=1), np.ones((4, 3)), atol=1e-2)
+
+    def test_constant_channel_is_finite(self):
+        x = np.ones((2, 16, 1), dtype=np.float32)
+        out = instance_norm(x)
+        assert np.isfinite(out).all()
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            instance_norm(np.zeros((16, 3)))
+
+    def test_samples_normalised_independently(self):
+        x = _batch(n=2)
+        x[1] *= 100.0
+        out = instance_norm(x)
+        assert abs(out[1].std() - 1.0) < 0.05
+
+
+class TestPatchify:
+    def test_shape_non_overlapping(self):
+        out = patchify(_batch(t=32, c=3), patch_len=8, stride=8)
+        assert out.shape == (4, 4, 24)
+
+    def test_shape_overlapping(self):
+        out = patchify(_batch(t=32, c=3), patch_len=8, stride=4)
+        assert out.shape == (4, 7, 24)
+
+    def test_trailing_steps_dropped(self):
+        out = patchify(_batch(t=35, c=2), patch_len=8, stride=8)
+        assert out.shape == (4, 4, 16)
+
+    def test_token_layout_is_channel_major(self):
+        """token = [ch0 values..., ch1 values..., ...] (per Eq. 1)."""
+        x = np.zeros((1, 8, 2), dtype=np.float32)
+        x[0, :, 0] = np.arange(8)
+        x[0, :, 1] = np.arange(8) + 100
+        out = patchify(x, patch_len=4, stride=4)
+        np.testing.assert_array_equal(out[0, 0, :4], [0, 1, 2, 3])
+        np.testing.assert_array_equal(out[0, 0, 4:], [100, 101, 102, 103])
+
+    def test_num_patches_helper(self):
+        assert num_patches(64, 8, 8) == 8
+        assert num_patches(64, 16, 8) == 7
+        with pytest.raises(ValueError):
+            num_patches(4, 8, 8)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            patchify(np.zeros((32, 3)), 8, 8)
+
+
+class TestUnpatchify:
+    def test_round_trip(self):
+        x = _batch(t=32, c=3)
+        patches = patchify(x, patch_len=8, stride=8)
+        restored = unpatchify(patches, channels=3, patch_len=8)
+        np.testing.assert_allclose(restored, x, atol=1e-6)
+
+    def test_rejects_overlapping(self):
+        patches = patchify(_batch(), patch_len=8, stride=4)
+        with pytest.raises(ValueError):
+            unpatchify(patches, channels=3, patch_len=8, stride=4)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            unpatchify(np.zeros((2, 4, 10)), channels=3, patch_len=8)
+
+
+class TestChannelIndependence:
+    def test_shape(self):
+        out = to_channel_independent(_batch(n=4, t=32, c=3))
+        assert out.shape == (12, 32, 1)
+
+    def test_round_trip(self):
+        x = _batch()
+        restored = from_channel_independent(to_channel_independent(x), channels=3)
+        np.testing.assert_array_equal(restored, x)
+
+    def test_channel_order(self):
+        x = np.zeros((1, 4, 2), dtype=np.float32)
+        x[0, :, 0] = 1.0
+        x[0, :, 1] = 2.0
+        out = to_channel_independent(x)
+        np.testing.assert_array_equal(out[0, :, 0], np.ones(4))
+        np.testing.assert_array_equal(out[1, :, 0], np.full(4, 2.0))
+
+    def test_rejects_indivisible_batch(self):
+        with pytest.raises(ValueError):
+            from_channel_independent(np.zeros((10, 4, 1)), channels=3)

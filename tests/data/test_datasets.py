@@ -1,0 +1,207 @@
+"""Tests for windowing, splits, scaling and batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    ForecastingWindows,
+    StandardScaler,
+    batch_indices,
+    chronological_split,
+    make_classification_data,
+    make_forecasting_data,
+    stratified_split,
+)
+
+
+def _series(length=100, channels=3, seed=0):
+    return np.random.default_rng(seed).standard_normal((length, channels)).astype(np.float32)
+
+
+class TestChronologicalSplit:
+    def test_60_20_20(self):
+        train, val, test = chronological_split(100)
+        assert (train.stop, val.stop, test.stop) == (60, 80, 100)
+
+    def test_no_overlap_and_full_coverage(self):
+        train, val, test = chronological_split(97)
+        indices = list(range(97))
+        covered = indices[train] + indices[val] + indices[test]
+        assert covered == indices
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError):
+            chronological_split(100, train=0.8, val=0.3)
+        with pytest.raises(ValueError):
+            chronological_split(100, train=0.0)
+
+
+class TestStratifiedSplit:
+    def test_every_class_in_every_split(self):
+        labels = np.repeat(np.arange(4), 25)
+        train, val, test = stratified_split(labels, seed=0)
+        for split in (train, val, test):
+            assert set(labels[split]) == {0, 1, 2, 3}
+
+    def test_no_index_overlap(self):
+        labels = np.repeat(np.arange(3), 30)
+        train, val, test = stratified_split(labels, seed=1)
+        combined = np.concatenate([train, val, test])
+        assert len(np.unique(combined)) == len(combined) == 90
+
+    def test_deterministic_per_seed(self):
+        labels = np.repeat(np.arange(2), 20)
+        a = stratified_split(labels, seed=7)
+        b = stratified_split(labels, seed=7)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+
+class TestStandardScaler:
+    def test_transform_standardises(self):
+        data = _series(500) * 4 + 10
+        scaler = StandardScaler().fit(data)
+        out = scaler.transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(3), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(3), atol=1e-3)
+
+    def test_inverse_round_trip(self):
+        data = _series(200)
+        scaler = StandardScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(restored, data, atol=1e-4)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(_series(10))
+
+    def test_3d_input(self):
+        data = np.random.default_rng(0).standard_normal((10, 20, 3)).astype(np.float32)
+        out = StandardScaler().fit(data).transform(data)
+        assert out.shape == data.shape
+
+    def test_constant_feature_does_not_explode(self):
+        data = np.ones((50, 2), dtype=np.float32)
+        out = StandardScaler().fit(data).transform(data)
+        assert np.isfinite(out).all()
+
+
+class TestForecastingWindows:
+    def test_window_count(self):
+        windows = ForecastingWindows(_series(100), seq_len=10, pred_len=5, stride=1)
+        assert len(windows) == 100 - 15 + 1
+
+    def test_stride_reduces_count(self):
+        dense = ForecastingWindows(_series(100), seq_len=10, pred_len=5, stride=1)
+        sparse = ForecastingWindows(_series(100), seq_len=10, pred_len=5, stride=5)
+        assert len(sparse) < len(dense)
+
+    def test_window_contents(self):
+        series = np.arange(60, dtype=np.float32).reshape(-1, 1)
+        windows = ForecastingWindows(series, seq_len=5, pred_len=3)
+        x, y = windows[2]
+        np.testing.assert_array_equal(x[:, 0], [2, 3, 4, 5, 6])
+        np.testing.assert_array_equal(y[:, 0], [7, 8, 9])
+
+    def test_batch_shapes(self):
+        windows = ForecastingWindows(_series(80), seq_len=8, pred_len=4)
+        x, y = windows.batch(np.array([0, 3, 5]))
+        assert x.shape == (3, 8, 3)
+        assert y.shape == (3, 4, 3)
+
+    def test_zero_pred_len_allowed(self):
+        windows = ForecastingWindows(_series(50), seq_len=10, pred_len=0)
+        x, y = windows[0]
+        assert x.shape == (10, 3)
+        assert y.shape == (0, 3)
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError):
+            ForecastingWindows(_series(10), seq_len=10, pred_len=5)
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            ForecastingWindows(np.zeros(50), seq_len=5, pred_len=1)
+
+
+class TestMakeForecastingData:
+    def test_scaler_fit_on_train_only(self):
+        """Leakage guard: scaling statistics must come from the train split."""
+        series = _series(200)
+        series[120:] += 100.0  # shift val/test distribution wildly
+        data = make_forecasting_data(series, seq_len=10, pred_len=5)
+        train_flat = data.train.series
+        assert abs(train_flat.mean()) < 0.2  # standardised
+        assert data.test.series.mean() > 10  # test keeps its shift
+
+    def test_univariate_target_selection(self):
+        data = make_forecasting_data(_series(200), seq_len=10, pred_len=5,
+                                     univariate_target=-1)
+        assert data.n_features == 1
+        x, y = data.train[0]
+        assert x.shape[-1] == 1 and y.shape[-1] == 1
+
+    def test_splits_are_chronological(self):
+        series = np.arange(300, dtype=np.float32).reshape(-1, 1)
+        data = make_forecasting_data(series, seq_len=5, pred_len=2)
+        assert data.train.series.max() < data.val.series.min()
+        assert data.val.series.max() < data.test.series.min()
+
+
+class TestMakeClassificationData:
+    def test_shapes_and_classes(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 20, 4)).astype(np.float32)
+        y = rng.integers(0, 3, size=100)
+        data = make_classification_data(x, y, seed=0)
+        assert data.n_classes == 3
+        assert data.n_features == 4
+        assert data.length == 20
+        assert len(data.x_train) + len(data.x_val) + len(data.x_test) == 100
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            make_classification_data(np.zeros((10, 5, 2)), np.zeros(9))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            make_classification_data(np.zeros((10, 5)), np.zeros(10))
+
+
+class TestBatchIteration:
+    def test_batch_indices_cover_everything(self):
+        seen = np.concatenate(list(batch_indices(25, 4, shuffle=False)))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(25))
+
+    def test_drop_last(self):
+        batches = list(batch_indices(25, 4, shuffle=False, drop_last=True))
+        assert all(len(b) == 4 for b in batches)
+        assert len(batches) == 6
+
+    def test_shuffle_changes_order(self):
+        rng = np.random.default_rng(0)
+        ordered = np.concatenate(list(batch_indices(50, 10, shuffle=False)))
+        shuffled = np.concatenate(list(batch_indices(50, 10, rng=rng)))
+        assert not np.array_equal(ordered, shuffled)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batch_indices(10, 0))
+
+    def test_dataloader_over_arrays(self):
+        x = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        loader = DataLoader((x, y), batch_size=3, shuffle=False)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert batches[0][0].shape == (3, 2)
+        total = sum(len(b[1]) for b in batches)
+        assert total == 10
+
+    def test_dataloader_over_windows(self):
+        windows = ForecastingWindows(_series(60), seq_len=6, pred_len=2)
+        loader = DataLoader(windows, batch_size=8, shuffle=True, seed=0)
+        x, y = next(iter(loader))
+        assert x.shape == (8, 6, 3)
+        assert y.shape == (8, 2, 3)

@@ -1,0 +1,73 @@
+"""Tests for the dataset registry: paper-metadata fidelity and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CLASSIFICATION_DATASETS,
+    FORECASTING_DATASETS,
+    load_classification_dataset,
+    load_forecasting_dataset,
+)
+
+
+class TestForecastingRegistry:
+    def test_contains_all_paper_datasets(self):
+        assert set(FORECASTING_DATASETS) == {
+            "ETTh1", "ETTh2", "ETTm1", "ETTm2", "Exchange", "Weather"}
+
+    def test_table1_metadata(self):
+        info = FORECASTING_DATASETS["Weather"]
+        assert info.features == 21
+        assert info.timesteps == 52_696
+        assert info.frequency == "10 min"
+
+    def test_load_scaled(self):
+        data = load_forecasting_dataset("ETTh1", scale=0.01)
+        assert data.shape == (174, 7)
+
+    def test_load_full_shape_contract(self):
+        data = load_forecasting_dataset("Exchange", scale=1.0)
+        assert data.shape == (7_588, 8)
+
+    def test_minimum_length_floor(self):
+        data = load_forecasting_dataset("ETTh1", scale=1e-9)
+        assert len(data) == 64
+
+    def test_different_seeds_differ(self):
+        a = load_forecasting_dataset("ETTh1", scale=0.01, seed=0)
+        b = load_forecasting_dataset("ETTh1", scale=0.01, seed=1)
+        assert not np.allclose(a, b)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_forecasting_dataset("NotADataset")
+
+    def test_etth_variants_are_distinct_series(self):
+        a = load_forecasting_dataset("ETTh1", scale=0.01)
+        b = load_forecasting_dataset("ETTh2", scale=0.01)
+        assert not np.allclose(a, b)
+
+
+class TestClassificationRegistry:
+    def test_contains_all_paper_datasets(self):
+        assert set(CLASSIFICATION_DATASETS) == {
+            "FingerMovements", "PenDigits", "HAR", "Epilepsy", "WISDM"}
+
+    def test_table2_metadata(self):
+        info = CLASSIFICATION_DATASETS["HAR"]
+        assert (info.samples, info.features, info.classes, info.length) == \
+            (10_299, 9, 6, 128)
+
+    def test_load_scaled(self):
+        x, y = load_classification_dataset("Epilepsy", scale=0.01)
+        assert x.shape == (115, 178, 1)
+        assert len(y) == 115
+
+    def test_minimum_samples_floor(self):
+        x, y = load_classification_dataset("PenDigits", scale=1e-9)
+        assert len(x) == 4 * 10  # 4 per class
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_classification_dataset("Imaginary")

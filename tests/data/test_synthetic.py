@@ -1,0 +1,129 @@
+"""Tests for the synthetic dataset generators: shapes, determinism, and the
+statistical properties each real dataset contributes to the paper's
+experiments."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+
+
+class TestForecastingGenerators:
+    def test_ett_shape_and_dtype(self):
+        data = synthetic.generate_ett(length=500, steps_per_day=24, seed=0)
+        assert data.shape == (500, 7)
+        assert data.dtype == np.float32
+        assert np.isfinite(data).all()
+
+    def test_ett_deterministic_per_seed(self):
+        a = synthetic.generate_ett(length=300, seed=5)
+        b = synthetic.generate_ett(length=300, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ett_variants_differ(self):
+        a = synthetic.generate_ett(length=300, seed=0, variant=1)
+        b = synthetic.generate_ett(length=300, seed=0, variant=2)
+        assert not np.allclose(a, b)
+
+    def test_ett_daily_periodicity(self):
+        """The dominant load-channel frequency should sit near one cycle
+        per simulated day."""
+        steps_per_day = 24
+        data = synthetic.generate_ett(length=24 * 40, steps_per_day=steps_per_day, seed=0)
+        signal = data[:, 0] - data[:, 0].mean()
+        spectrum = np.abs(np.fft.rfft(signal))
+        spectrum[0] = 0
+        peak = spectrum.argmax()
+        expected = len(signal) / steps_per_day  # daily frequency bin
+        assert abs(peak - expected) <= max(3, expected * 0.1)
+
+    def test_ett_oil_temperature_correlates_with_loads(self):
+        data = synthetic.generate_ett(length=24 * 60, seed=0)
+        mixture = data[:, :6].mean(axis=1)
+        correlation = np.corrcoef(mixture, data[:, 6])[0, 1]
+        # OT is a lagged, smoothed, noisy mixture of the loads: correlation
+        # with the plain load mean is attenuated but must stay material.
+        assert abs(correlation) > 0.2
+
+    def test_exchange_is_random_walk_like(self):
+        """First differences should be near-white; levels highly
+        autocorrelated — the integrated-process signature."""
+        data = synthetic.generate_exchange(length=2000, seed=0)
+        assert data.shape == (2000, 8)
+        levels = data[:, 0]
+        level_autocorr = np.corrcoef(levels[:-1], levels[1:])[0, 1]
+        diffs = np.diff(levels)
+        diff_autocorr = np.corrcoef(diffs[:-1], diffs[1:])[0, 1]
+        assert level_autocorr > 0.95
+        assert abs(diff_autocorr) < 0.2
+
+    def test_exchange_channels_are_correlated(self):
+        data = synthetic.generate_exchange(length=3000, seed=0)
+        diffs = np.diff(data, axis=0)
+        corr = np.corrcoef(diffs.T)
+        off_diagonal = corr[~np.eye(8, dtype=bool)]
+        assert off_diagonal.mean() > 0.1  # common global factors
+
+    def test_weather_shape_and_wet_bulb_dependency(self):
+        data = synthetic.generate_weather(length=2000, steps_per_day=144, seed=0)
+        assert data.shape == (2000, 21)
+        predicted = 0.5 * data[:, 0] + 0.3 * data[:, 1] + 0.2 * data[:, 2]
+        corr = np.corrcoef(predicted, data[:, -1])[0, 1]
+        assert corr > 0.9
+
+
+class TestClassificationGenerators:
+    @pytest.mark.parametrize("generator,channels,classes,length", [
+        (synthetic.generate_har, 9, 6, 128),
+        (synthetic.generate_wisdm, 3, 6, 256),
+        (synthetic.generate_epilepsy, 1, 2, 178),
+        (synthetic.generate_pendigits, 2, 10, 8),
+        (synthetic.generate_finger_movements, 28, 2, 50),
+    ])
+    def test_shapes_and_labels(self, generator, channels, classes, length):
+        x, y = generator(n_samples=60, length=length, seed=0)
+        assert x.shape == (60, length, channels)
+        assert x.dtype == np.float32
+        assert y.shape == (60,)
+        assert y.min() >= 0 and y.max() < classes
+        assert np.isfinite(x).all()
+
+    def test_determinism(self):
+        x1, y1 = synthetic.generate_har(n_samples=20, length=64, seed=3)
+        x2, y2 = synthetic.generate_har(n_samples=20, length=64, seed=3)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_class_signal_survives_instance_norm(self):
+        """The class must live in waveform shape, not offsets/amplitudes —
+        TimeDRL's pipeline instance-normalises every sample (Eq. 1)."""
+        from repro.core.patching import instance_norm
+
+        x, y = synthetic.generate_har(n_samples=200, length=128, seed=0)
+        normed = instance_norm(x)
+        class_means = {cls: normed[y == cls].mean(axis=0) for cls in np.unique(y)}
+        classes = sorted(class_means)
+        gaps = [np.abs(class_means[a] - class_means[b]).mean()
+                for a in classes for b in classes if a < b]
+        assert min(gaps) > 0.05  # distinguishable mean waveforms
+
+    def test_epilepsy_seizure_class_has_higher_energy(self):
+        x, y = synthetic.generate_epilepsy(n_samples=300, length=178, seed=0)
+        seizure_energy = (x[y == 1] ** 2).mean()
+        background_energy = (x[y == 0] ** 2).mean()
+        assert seizure_energy > 2 * background_energy
+
+    def test_finger_movements_is_low_snr(self):
+        """FingerMovements must stay *hard*: tiny class effect relative to
+        background (paper baselines hover near chance on it)."""
+        x, y = synthetic.generate_finger_movements(n_samples=200, seed=0)
+        class_gap = np.abs(x[y == 0].mean(axis=0) - x[y == 1].mean(axis=0)).mean()
+        background = x.std()
+        assert class_gap < background  # signal buried in noise
+
+    def test_pendigits_class_templates_are_distinct(self):
+        x, y = synthetic.generate_pendigits(n_samples=400, seed=0)
+        means = {cls: x[y == cls].mean(axis=0) for cls in range(10)}
+        distances = [np.linalg.norm(means[a] - means[b])
+                     for a in range(10) for b in range(a + 1, 10)]
+        assert min(distances) > 0.1

@@ -1,0 +1,88 @@
+"""Tests for the clustering evaluation of instance embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    cluster_accuracy,
+    evaluate_clustering,
+    normalized_mutual_info,
+)
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        np.testing.assert_allclose(normalized_mutual_info(labels, labels), 1.0)
+
+    def test_permuted_cluster_ids_still_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        renamed = np.array([2, 2, 0, 0, 1, 1])
+        np.testing.assert_allclose(normalized_mutual_info(labels, renamed), 1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_info(a, b) < 0.02
+
+    def test_single_cluster_degenerate(self):
+        labels = np.zeros(10, dtype=int)
+        assert normalized_mutual_info(labels, labels) == 1.0
+
+
+class TestARI:
+    def test_identical(self):
+        labels = np.array([0, 1, 0, 1, 2])
+        np.testing.assert_allclose(adjusted_rand_index(labels, labels), 1.0)
+
+    def test_relabelling_invariant(self):
+        labels = np.array([0, 0, 1, 1])
+        renamed = np.array([5, 5, 3, 3])
+        np.testing.assert_allclose(adjusted_rand_index(labels, renamed), 1.0)
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=1000)
+        b = rng.integers(0, 3, size=1000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+
+
+class TestClusterAccuracy:
+    def test_hungarian_matching(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([1, 1, 0, 0])  # swapped ids
+        assert cluster_accuracy(labels, predictions) == 1.0
+
+    def test_partial_agreement(self):
+        labels = np.array([0, 0, 0, 1])
+        predictions = np.array([0, 0, 1, 1])
+        np.testing.assert_allclose(cluster_accuracy(labels, predictions), 0.75)
+
+
+class TestEvaluateClustering:
+    def test_separable_blobs_score_high(self):
+        rng = np.random.default_rng(0)
+        centers = rng.uniform(-10, 10, size=(3, 6))
+        labels = np.repeat(np.arange(3), 40)
+        embeddings = centers[labels] + 0.3 * rng.standard_normal((120, 6))
+        scores = evaluate_clustering(embeddings, labels, seed=0)
+        assert scores.accuracy > 0.95
+        assert scores.nmi > 0.9
+        assert scores.ari > 0.9
+
+    def test_unstructured_embeddings_score_low(self):
+        rng = np.random.default_rng(1)
+        embeddings = rng.standard_normal((120, 6))
+        labels = rng.integers(0, 3, size=120)
+        scores = evaluate_clustering(embeddings, labels, seed=0)
+        assert scores.nmi < 0.2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_clustering(np.zeros((5, 2)), np.zeros(4))

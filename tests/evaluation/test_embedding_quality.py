@@ -1,0 +1,98 @@
+"""Tests for the anisotropy / embedding-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    alignment,
+    anisotropy,
+    effective_rank,
+    embedding_report,
+    uniformity,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestAnisotropy:
+    def test_identical_directions_give_one(self):
+        base = _rng().standard_normal(8)
+        embeddings = np.stack([base * s for s in (1.0, 2.0, 0.5, 3.0)])
+        np.testing.assert_allclose(anisotropy(embeddings), 1.0, atol=1e-6)
+
+    def test_isotropic_gaussian_near_zero(self):
+        embeddings = _rng().standard_normal((500, 32))
+        assert abs(anisotropy(embeddings)) < 0.05
+
+    def test_narrow_cone_scores_high(self):
+        """The paper's pathology: pooled embeddings in a narrow cone."""
+        base = _rng().standard_normal(16)
+        cone = base[None, :] + 0.1 * _rng(1).standard_normal((100, 16))
+        assert anisotropy(cone) > 0.9
+
+    def test_orthogonal_pair(self):
+        embeddings = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(anisotropy(embeddings), 0.0, atol=1e-9)
+
+    def test_rejects_single_embedding(self):
+        with pytest.raises(ValueError):
+            anisotropy(np.ones((1, 4)))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            anisotropy(np.ones(4))
+
+
+class TestEffectiveRank:
+    def test_full_rank_gaussian(self):
+        embeddings = _rng().standard_normal((400, 8))
+        assert effective_rank(embeddings) > 6.5
+
+    def test_rank_one_data(self):
+        direction = _rng().standard_normal(8)
+        embeddings = np.outer(_rng(1).standard_normal(50), direction)
+        assert effective_rank(embeddings) < 1.5
+
+    def test_constant_embeddings_degenerate_to_one(self):
+        assert effective_rank(np.ones((10, 4))) == 1.0
+
+    def test_monotone_in_dimensionality_spread(self):
+        rng = _rng(2)
+        narrow = rng.standard_normal((200, 8)) * np.array([1, 1, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01])
+        wide = rng.standard_normal((200, 8))
+        assert effective_rank(narrow) < effective_rank(wide)
+
+
+class TestAlignmentUniformity:
+    def test_alignment_zero_for_identical_views(self):
+        view = _rng().standard_normal((20, 8))
+        np.testing.assert_allclose(alignment(view, view), 0.0, atol=1e-9)
+
+    def test_alignment_grows_with_noise(self):
+        view = _rng().standard_normal((50, 8))
+        small = alignment(view, view + 0.01 * _rng(1).standard_normal((50, 8)))
+        large = alignment(view, view + 1.0 * _rng(2).standard_normal((50, 8)))
+        assert small < large
+
+    def test_alignment_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            alignment(np.ones((4, 3)), np.ones((5, 3)))
+
+    def test_uniformity_prefers_spread(self):
+        spread = _rng().standard_normal((200, 16))
+        base = _rng(1).standard_normal(16)
+        collapsed = base[None, :] + 0.01 * _rng(2).standard_normal((200, 16))
+        assert uniformity(spread) < uniformity(collapsed)
+
+    def test_uniformity_upper_bound_zero(self):
+        collapsed = np.ones((20, 4))
+        assert uniformity(collapsed) <= 1e-9
+
+
+class TestReport:
+    def test_keys_and_finiteness(self):
+        report = embedding_report(_rng().standard_normal((50, 8)))
+        assert set(report) == {"anisotropy", "effective_rank", "uniformity"}
+        assert all(np.isfinite(v) for v in report.values())

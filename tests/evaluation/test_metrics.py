@@ -1,0 +1,106 @@
+"""Tests for the evaluation metrics (Eq. 20–27)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import metrics
+
+
+class TestRegressionMetrics:
+    def test_mse_known_value(self):
+        assert metrics.mse(np.array([1.0, 2.0]), np.array([3.0, 2.0])) == 2.0
+
+    def test_mae_known_value(self):
+        assert metrics.mae(np.array([1.0, -1.0]), np.array([2.0, 1.0])) == 1.5
+
+    def test_zero_on_perfect_prediction(self):
+        y = np.random.default_rng(0).standard_normal((10, 3))
+        assert metrics.mse(y, y) == 0.0
+        assert metrics.mae(y, y) == 0.0
+
+    def test_mse_dominates_mae_for_large_errors(self):
+        y_true = np.zeros(10)
+        y_pred = np.full(10, 3.0)
+        assert metrics.mse(y_true, y_pred) > metrics.mae(y_true, y_pred)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            metrics.mse(np.zeros(3), np.zeros(4))
+
+    def test_multidimensional_input(self):
+        y = np.ones((4, 5, 2))
+        assert metrics.mse(y, y * 2) == 1.0
+
+
+class TestAccuracy:
+    def test_known_value(self):
+        assert metrics.accuracy([0, 1, 1, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy(np.array([]), np.array([]))
+
+    def test_perfect(self):
+        assert metrics.accuracy([2, 1], [2, 1]) == 1.0
+
+
+class TestMacroF1:
+    def test_matches_manual_binary_computation(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        # class 0: tp=1 fp=1 fn=1 -> f1=0.5 ; class 1: tp=2 fp=1 fn=1 -> f1=2/3
+        expected = (0.5 + 2 / 3) / 2
+        np.testing.assert_allclose(metrics.macro_f1(y_true, y_pred), expected)
+
+    def test_macro_averaging_weighs_classes_equally(self):
+        """99 correct majority + all minority wrong: macro F1 must crater
+        even though accuracy stays high."""
+        y_true = np.array([0] * 99 + [1])
+        y_pred = np.array([0] * 100)
+        assert metrics.accuracy(y_true, y_pred) == 0.99
+        assert metrics.macro_f1(y_true, y_pred) < 0.6
+
+    def test_predicted_only_class_counts(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 1])  # class 1 never in truth
+        assert 0 < metrics.macro_f1(y_true, y_pred) < 1
+
+    def test_perfect(self):
+        assert metrics.macro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+
+class TestCohenKappa:
+    def test_perfect_agreement(self):
+        assert metrics.cohen_kappa([0, 1, 0, 1], [0, 1, 0, 1]) == 1.0
+
+    def test_chance_level_is_zero(self):
+        """A constant predictor on a balanced set scores kappa = 0."""
+        y_true = np.array([0, 1] * 50)
+        y_pred = np.zeros(100, dtype=int)
+        np.testing.assert_allclose(metrics.cohen_kappa(y_true, y_pred), 0.0, atol=1e-9)
+
+    def test_worse_than_chance_is_negative(self):
+        y_true = np.array([0, 1, 0, 1])
+        y_pred = np.array([1, 0, 1, 0])
+        assert metrics.cohen_kappa(y_true, y_pred) < 0
+
+    def test_degenerate_identical_constant(self):
+        assert metrics.cohen_kappa([1, 1, 1], [1, 1, 1]) == 0.0
+
+    def test_matches_formula_on_random_labels(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, size=500)
+        y_pred = rng.integers(0, 3, size=500)
+        kappa = metrics.cohen_kappa(y_true, y_pred)
+        # Random predictions: kappa near zero.
+        assert abs(kappa) < 0.1
+
+
+class TestClassificationReport:
+    def test_percentages(self):
+        report = metrics.classification_report([0, 1, 1, 0], [0, 1, 1, 0])
+        assert report == {"ACC": 100.0, "MF1": 100.0, "kappa": 100.0}
+
+    def test_keys(self):
+        report = metrics.classification_report([0, 1], [1, 0])
+        assert set(report) == {"ACC", "MF1", "kappa"}

@@ -1,0 +1,79 @@
+"""Tests for the paper-style aggregate improvement reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    average_accuracy_improvement,
+    average_error_improvement,
+    win_counts,
+)
+
+
+def _error_table():
+    table = ResultTable("mse", columns=["TimeDRL", "A", "B"])
+    table.add("d1", "TimeDRL", 0.5)
+    table.add("d1", "A", 1.0)
+    table.add("d1", "B", 2.0)
+    table.add("d2", "TimeDRL", 0.9)
+    table.add("d2", "A", 0.6)
+    table.add("d2", "B", 1.2)
+    return table
+
+
+class TestErrorImprovement:
+    def test_average_over_rows(self):
+        summary = average_error_improvement(_error_table())
+        # Row d1: (1.0 - 0.5)/1.0 = +50%.  Row d2: (0.6 - 0.9)/0.6 = -50%.
+        np.testing.assert_allclose(summary.average_improvement_pct, 0.0, atol=1e-9)
+        assert summary.wins == 1
+        assert summary.rows == 2
+
+    def test_positive_when_method_dominates(self):
+        table = ResultTable("mse", columns=["TimeDRL", "A"])
+        table.add("r", "TimeDRL", 0.42)
+        table.add("r", "A", 1.0)
+        summary = average_error_improvement(table)
+        np.testing.assert_allclose(summary.average_improvement_pct, 58.0)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            average_error_improvement(_error_table(), method="Nope")
+
+    def test_empty_table_raises(self):
+        table = ResultTable("mse", columns=["TimeDRL", "A"])
+        with pytest.raises(ValueError):
+            average_error_improvement(table)
+
+    def test_str_rendering(self):
+        text = str(average_error_improvement(_error_table()))
+        assert "TimeDRL" in text and "%" in text
+
+
+class TestAccuracyImprovement:
+    def test_direction_flipped_for_accuracy(self):
+        table = ResultTable("acc", columns=["TimeDRL", "A"])
+        table.add("r", "TimeDRL", 90.0)
+        table.add("r", "A", 80.0)
+        summary = average_accuracy_improvement(table)
+        np.testing.assert_allclose(summary.average_improvement_pct, 12.5)
+        assert summary.wins == 1
+
+    def test_negative_when_behind(self):
+        table = ResultTable("acc", columns=["TimeDRL", "A"])
+        table.add("r", "TimeDRL", 60.0)
+        table.add("r", "A", 80.0)
+        summary = average_accuracy_improvement(table)
+        assert summary.average_improvement_pct < 0
+        assert summary.wins == 0
+
+
+class TestWinCounts:
+    def test_minimise(self):
+        counts = win_counts(_error_table(), minimise=True)
+        assert counts == {"TimeDRL": 1, "A": 1, "B": 0}
+
+    def test_maximise(self):
+        counts = win_counts(_error_table(), minimise=False)
+        assert counts == {"TimeDRL": 0, "A": 0, "B": 2}

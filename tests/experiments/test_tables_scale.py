@@ -1,0 +1,94 @@
+"""Tests for the ResultTable container and scale presets."""
+
+import pytest
+
+from repro.experiments import DEFAULT, FULL, SMOKE, ResultTable, get_scale
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable("demo", columns=["A", "B"])
+        table.add("r1", "A", 1.0)
+        table.add("r1", "B", 2.0)
+        table.add("r2", "A", 5.0)
+        return table
+
+    def test_add_and_get(self):
+        table = self._table()
+        assert table.get("r1", "B") == 2.0
+        assert table.rows == ["r1", "r2"]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            self._table().add("r1", "C", 0.0)
+
+    def test_row_values_skips_missing(self):
+        table = self._table()
+        assert table.row_values("r2") == {"A": 5.0}
+
+    def test_best_column_minimise(self):
+        assert self._table().best_column("r1") == "A"
+
+    def test_best_column_maximise(self):
+        assert self._table().best_column("r1", minimise=False) == "B"
+
+    def test_best_column_empty_row_raises(self):
+        with pytest.raises(KeyError):
+            self._table().best_column("missing")
+
+    def test_markdown_renders_all_cells(self):
+        markdown = self._table().to_markdown()
+        assert "### demo" in markdown
+        assert "1.000" in markdown
+        assert "—" in markdown  # missing r2/B cell
+
+    def test_print_does_not_crash(self, capsys):
+        self._table().print()
+        assert "demo" in capsys.readouterr().out
+
+
+class TestScalePresets:
+    def test_default_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert get_scale().name == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_explicit_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert get_scale("full").name == "full"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("gigantic")
+
+    def test_presets_are_ordered_by_size(self):
+        assert SMOKE.max_timesteps < DEFAULT.max_timesteps < FULL.max_timesteps
+        assert SMOKE.pretrain_epochs <= DEFAULT.pretrain_epochs <= FULL.pretrain_epochs
+
+    def test_full_uses_paper_horizons(self):
+        assert FULL.horizons == (24, 48, 168, 336, 720)
+
+
+class TestMarkdownRoundTrip:
+    def test_round_trip_preserves_values(self):
+        table = ResultTable("demo table", columns=["A", "B"])
+        table.add("r1", "A", 1.25)
+        table.add("r1", "B", 2.5)
+        table.add("r2", "A", 0.125)
+        restored = ResultTable.from_markdown(table.to_markdown("{:.3f}"))
+        assert restored.title == "demo table"
+        assert restored.columns == ["A", "B"]
+        assert restored.get("r1", "B") == 2.5
+        # Missing r2/B cell stays missing.
+        assert ("r2", "B") not in restored.values
+
+    def test_rejects_non_table_text(self):
+        with pytest.raises(ValueError):
+            ResultTable.from_markdown("just some prose")
+
+    def test_rejects_heading_without_table(self):
+        with pytest.raises(ValueError):
+            ResultTable.from_markdown("### title only\n\nno table here")

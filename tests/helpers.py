@@ -1,0 +1,60 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(func, values: list[np.ndarray], index: int, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of ``func`` w.r.t. ``values[index]``.
+
+    ``func`` maps a list of float64 ndarrays to a scalar float.
+    """
+    base = [v.copy() for v in values]
+    target = base[index]
+    grad = np.zeros_like(target)
+    flat = target.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for position in range(flat.size):
+        original = flat[position]
+        flat[position] = original + eps
+        upper = func(base)
+        flat[position] = original - eps
+        lower = func(base)
+        flat[position] = original
+        grad_flat[position] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradients(build_loss, shapes: list[tuple[int, ...]], seed: int = 0,
+                    atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Assert analytic gradients match finite differences.
+
+    Parameters
+    ----------
+    build_loss:
+        Callable taking a list of :class:`Tensor` and returning a scalar
+        Tensor loss.  Must be deterministic (no dropout).
+    shapes:
+        Shapes of the float64 leaf tensors to generate.
+    """
+    rng = np.random.default_rng(seed)
+    values = [rng.standard_normal(shape).astype(np.float64) for shape in shapes]
+
+    def scalar_func(arrays: list[np.ndarray]) -> float:
+        tensors = [Tensor(a, dtype=np.float64) for a in arrays]
+        return float(build_loss(tensors).data)
+
+    leaves = [Tensor(v, requires_grad=True, dtype=np.float64) for v in values]
+    loss = build_loss(leaves)
+    loss.backward()
+
+    for index, leaf in enumerate(leaves):
+        expected = numeric_gradient(scalar_func, values, index)
+        actual = leaf.grad if leaf.grad is not None else np.zeros_like(values[index])
+        np.testing.assert_allclose(
+            actual, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {index}",
+        )

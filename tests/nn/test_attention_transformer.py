@@ -1,0 +1,143 @@
+"""Tests for multi-head attention and the Transformer encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.attention import causal_mask
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _input(n=2, t=6, d=16, seed=1):
+    return Tensor(_rng(seed).standard_normal((n, t, d)).astype(np.float32), requires_grad=True)
+
+
+class TestCausalMask:
+    def test_shape_and_pattern(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert (mask[np.tril_indices(4)] == 0).all()
+        assert (mask[np.triu_indices(4, k=1)] < -1e8).all()
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attn = nn.MultiHeadAttention(16, 4, dropout=0.0, rng=_rng())
+        out = attn(_input())
+        assert out.shape == (2, 6, 16)
+
+    def test_d_model_must_divide(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(16, 5)
+
+    def test_gradients_reach_all_projections(self):
+        attn = nn.MultiHeadAttention(16, 4, dropout=0.0, rng=_rng())
+        (attn(_input()) ** 2).mean().backward()
+        for name, param in attn.named_parameters():
+            assert param.grad is not None, name
+
+    def test_causal_mask_blocks_future(self):
+        """Changing a future timestep must not affect earlier outputs."""
+        attn = nn.MultiHeadAttention(8, 2, dropout=0.0, rng=_rng())
+        attn.eval()
+        x = _rng(3).standard_normal((1, 5, 8)).astype(np.float32)
+        mask = causal_mask(5)
+        base = attn(Tensor(x), attn_mask=mask).data.copy()
+        x2 = x.copy()
+        x2[0, -1] += 10.0  # perturb last timestep only
+        out = attn(Tensor(x2), attn_mask=mask).data
+        np.testing.assert_allclose(out[0, :-1], base[0, :-1], atol=1e-5)
+        assert not np.allclose(out[0, -1], base[0, -1])
+
+    def test_bidirectional_attention_sees_future(self):
+        attn = nn.MultiHeadAttention(8, 2, dropout=0.0, rng=_rng())
+        attn.eval()
+        x = _rng(3).standard_normal((1, 5, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, -1] += 10.0
+        out = attn(Tensor(x2)).data
+        assert not np.allclose(out[0, 0], base[0, 0])
+
+    def test_deterministic_without_dropout(self):
+        attn = nn.MultiHeadAttention(8, 2, dropout=0.0, rng=_rng())
+        x = _input(d=8)
+        np.testing.assert_array_equal(attn(x).data, attn(x).data)
+
+
+class TestTransformerEncoder:
+    def test_output_shape_preserved(self):
+        enc = nn.TransformerEncoder(d_model=16, num_heads=4, num_layers=3, dropout=0.0, rng=_rng())
+        assert enc(_input()).shape == (2, 6, 16)
+
+    def test_dropout_gives_two_distinct_views(self):
+        """The paper's augmentation-free mechanism (Section IV-C): two
+        forward passes in train mode must differ, and must agree in eval."""
+        enc = nn.TransformerEncoder(d_model=16, num_heads=4, num_layers=2, dropout=0.2, rng=_rng())
+        x = _input()
+        view1 = enc(x).data.copy()
+        view2 = enc(x).data.copy()
+        assert not np.allclose(view1, view2)
+        enc.eval()
+        np.testing.assert_array_equal(enc(x).data, enc(x).data)
+
+    def test_causal_flag_builds_masked_stack(self):
+        enc = nn.TransformerEncoder(d_model=8, num_heads=2, num_layers=2,
+                                    dropout=0.0, causal=True, rng=_rng())
+        enc.eval()
+        x = _rng(5).standard_normal((1, 6, 8)).astype(np.float32)
+        base = enc(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, -1] += 5.0
+        out = enc(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :-1], base[0, :-1], atol=1e-4)
+
+    def test_backward_through_stack(self):
+        enc = nn.TransformerEncoder(d_model=16, num_heads=4, num_layers=2, dropout=0.1, rng=_rng())
+        x = _input()
+        (enc(x) ** 2).mean().backward()
+        assert x.grad is not None
+        for name, param in enc.named_parameters():
+            assert param.grad is not None, name
+
+    def test_training_reduces_reconstruction_loss(self):
+        """End-to-end sanity: a tiny encoder + head can fit random targets."""
+        rng = _rng(0)
+        enc = nn.TransformerEncoder(d_model=8, num_heads=2, num_layers=1, dropout=0.0, rng=rng)
+        head = nn.Linear(8, 4, rng=rng)
+        x = Tensor(rng.standard_normal((8, 5, 8)).astype(np.float32))
+        target = Tensor(rng.standard_normal((8, 5, 4)).astype(np.float32))
+        params = enc.parameters() + head.parameters()
+        opt = nn.Adam(params, lr=1e-2)
+        first = None
+        for __ in range(30):
+            opt.zero_grad()
+            loss = nn.mse_loss(head(enc(x)), target)
+            loss.backward()
+            opt.step()
+            first = first if first is not None else float(loss.data)
+        assert float(loss.data) < 0.7 * first
+
+
+class TestLearnablePositionalEncoding:
+    def test_adds_position_table(self):
+        pe = nn.LearnablePositionalEncoding(10, 8, rng=_rng())
+        x = Tensor(np.zeros((2, 4, 8), dtype=np.float32))
+        out = pe(x)
+        np.testing.assert_allclose(out.data[0], pe.weight.data[:4], atol=1e-6)
+
+    def test_too_long_sequence_raises(self):
+        pe = nn.LearnablePositionalEncoding(4, 8, rng=_rng())
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 5, 8), dtype=np.float32)))
+
+    def test_positional_table_is_trainable(self):
+        pe = nn.LearnablePositionalEncoding(6, 8, rng=_rng())
+        x = Tensor(np.zeros((2, 6, 8), dtype=np.float32))
+        (pe(x) ** 2).mean().backward()
+        assert pe.weight.grad is not None
+        assert pe.weight.grad.shape == (6, 8)

@@ -1,0 +1,249 @@
+"""Tests for Conv1d/CausalConv1d/TCN/ResNet1d and LSTM/BiLSTM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+from ..helpers import check_gradients
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _naive_conv1d(x, weight, bias, stride=1, padding=0, dilation=1):
+    """Reference direct convolution for correctness checks."""
+    n, c_in, length = x.shape
+    c_out, __, k = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+        length += 2 * padding
+    effective = (k - 1) * dilation + 1
+    out_len = (length - effective) // stride + 1
+    out = np.zeros((n, c_out, out_len))
+    for b in range(n):
+        for o in range(c_out):
+            for t in range(out_len):
+                start = t * stride
+                acc = 0.0
+                for i in range(c_in):
+                    for j in range(k):
+                        acc += x[b, i, start + j * dilation] * weight[o, i, j]
+                out[b, o, t] = acc + (bias[o] if bias is not None else 0.0)
+    return out
+
+
+class TestConv1d:
+    @pytest.mark.parametrize("stride,padding,dilation", [
+        (1, 0, 1), (2, 0, 1), (1, 2, 1), (1, 0, 2), (2, 1, 2),
+    ])
+    def test_matches_naive_convolution(self, stride, padding, dilation):
+        conv = nn.Conv1d(3, 4, 3, stride=stride, padding=padding,
+                         dilation=dilation, rng=_rng())
+        x = _rng(1).standard_normal((2, 3, 12)).astype(np.float32)
+        expected = _naive_conv1d(x, conv.weight.data, conv.bias.data,
+                                 stride, padding, dilation)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, rtol=1e-4, atol=1e-5)
+
+    def test_output_length_formula(self):
+        conv = nn.Conv1d(1, 1, 3, stride=2, padding=1, dilation=1, rng=_rng())
+        out = conv(Tensor(np.zeros((1, 1, 10), dtype=np.float32)))
+        assert out.shape[-1] == conv.output_length(10) == 5
+
+    def test_wrong_channels_raises(self):
+        conv = nn.Conv1d(3, 4, 3, rng=_rng())
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 2, 10), dtype=np.float32)))
+
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ValueError):
+            nn.Conv1d(1, 1, 0)
+
+    def test_too_short_input_raises(self):
+        conv = nn.Conv1d(1, 1, 5, rng=_rng())
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 3), dtype=np.float32)))
+
+    def test_gradcheck(self):
+        conv = nn.Conv1d(2, 3, 3, padding=1, rng=_rng())
+
+        def loss(ts):
+            x, w, b = ts
+            conv.weight.data = w.data
+            # Rebuild forward with raw tensors to avoid parameter capture.
+            n, c, length = x.shape
+            padded = x.pad(((0, 0), (0, 0), (1, 1)))
+            cols = np.arange(length)[:, None] + np.arange(3)[None, :]
+            patches = padded[:, :, cols].transpose(0, 2, 1, 3).reshape(n, length, c * 3)
+            kernel = w.reshape(3, c * 3)
+            return ((patches @ kernel.transpose() + b) ** 2).mean()
+
+        check_gradients(loss, [(2, 2, 6), (3, 2, 3), (3,)])
+
+    def test_gradients_flow_to_weight_and_input(self):
+        conv = nn.Conv1d(2, 3, 3, padding=1, rng=_rng())
+        x = Tensor(_rng(1).standard_normal((2, 2, 8)).astype(np.float32), requires_grad=True)
+        (conv(x) ** 2).mean().backward()
+        assert x.grad is not None and x.grad.shape == x.shape
+        assert conv.weight.grad is not None
+
+
+class TestCausalConv1d:
+    def test_length_preserved(self):
+        conv = nn.CausalConv1d(2, 4, kernel_size=3, dilation=2, rng=_rng())
+        out = conv(Tensor(np.zeros((1, 2, 10), dtype=np.float32)))
+        assert out.shape == (1, 4, 10)
+
+    def test_causality(self):
+        conv = nn.CausalConv1d(1, 1, kernel_size=3, dilation=1, rng=_rng())
+        x = _rng(1).standard_normal((1, 1, 10)).astype(np.float32)
+        base = conv(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 0, 7] += 100.0
+        out = conv(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, 0, :7], base[0, 0, :7], atol=1e-5)
+        assert not np.allclose(out[0, 0, 7:], base[0, 0, 7:])
+
+
+class TestTCN:
+    def test_shapes_and_receptive_field_growth(self):
+        tcn = nn.TCN(3, [8, 8, 8], kernel_size=3, dropout=0.0, rng=_rng())
+        out = tcn(Tensor(np.zeros((2, 3, 32), dtype=np.float32)))
+        assert out.shape == (2, 8, 32)
+
+    def test_causality_end_to_end(self):
+        tcn = nn.TCN(1, [4, 4], kernel_size=2, dropout=0.0, rng=_rng())
+        tcn.eval()
+        x = _rng(1).standard_normal((1, 1, 16)).astype(np.float32)
+        base = tcn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 0, 10] += 50.0
+        out = tcn(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :, :10], base[0, :, :10], atol=1e-4)
+
+    def test_backward(self):
+        tcn = nn.TCN(2, [4, 4], dropout=0.1, rng=_rng())
+        x = Tensor(_rng(1).standard_normal((2, 2, 16)).astype(np.float32), requires_grad=True)
+        (tcn(x) ** 2).mean().backward()
+        assert x.grad is not None
+
+
+class TestResNet1d:
+    def test_shapes(self):
+        net = nn.ResNet1d(3, [8, 16], rng=_rng())
+        out = net(Tensor(np.zeros((2, 3, 20), dtype=np.float32)))
+        assert out.shape == (2, 16, 20)
+
+    def test_identity_shortcut_when_channels_match(self):
+        block = nn.ResNetBlock1d(8, 8, rng=_rng())
+        assert block.shortcut is None
+
+    def test_projection_shortcut_when_channels_differ(self):
+        block = nn.ResNetBlock1d(4, 8, rng=_rng())
+        assert block.shortcut is not None
+
+    def test_backward(self):
+        net = nn.ResNet1d(2, [4], rng=_rng())
+        x = Tensor(_rng(1).standard_normal((3, 2, 12)).astype(np.float32), requires_grad=True)
+        (net(x) ** 2).mean().backward()
+        assert x.grad is not None
+
+
+class TestPooling:
+    def test_maxpool(self):
+        pool = nn.MaxPool1d(2)
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 5.0, 0.0]]]))
+        np.testing.assert_allclose(pool(x).data, [[[3.0, 5.0]]])
+
+    def test_maxpool_too_short_raises(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool1d(4)(Tensor(np.zeros((1, 1, 3))))
+
+    def test_global_average_pool(self):
+        pool = nn.GlobalAveragePool1d()
+        x = Tensor(np.arange(6.0).reshape(1, 2, 3))
+        np.testing.assert_allclose(pool(x).data, [[1.0, 4.0]])
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = nn.LSTM(4, 8, rng=_rng())
+        out = lstm(Tensor(np.zeros((3, 7, 4), dtype=np.float32)))
+        assert out.shape == (3, 7, 8)
+
+    def test_causality(self):
+        lstm = nn.LSTM(2, 4, rng=_rng())
+        x = _rng(1).standard_normal((1, 8, 2)).astype(np.float32)
+        base = lstm(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out = lstm(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-5)
+        assert not np.allclose(out[0, 5:], base[0, 5:])
+
+    def test_backward_through_time(self):
+        lstm = nn.LSTM(3, 5, rng=_rng())
+        x = Tensor(_rng(1).standard_normal((2, 6, 3)).astype(np.float32), requires_grad=True)
+        (lstm(x) ** 2).mean().backward()
+        assert x.grad is not None
+        assert not np.allclose(x.grad[:, 0], 0)  # gradient reaches step 0
+
+    def test_forget_gate_bias_initialised_to_one(self):
+        lstm = nn.LSTM(3, 4, rng=_rng())
+        hs = 4
+        np.testing.assert_allclose(lstm.cell.bias.data[hs:2 * hs], np.ones(hs))
+
+
+class TestBiLSTM:
+    def test_output_shape_matches_lstm(self):
+        bilstm = nn.BiLSTM(4, 8, rng=_rng())
+        out = bilstm(Tensor(np.zeros((3, 7, 4), dtype=np.float32)))
+        assert out.shape == (3, 7, 8)
+
+    def test_sees_both_directions(self):
+        bilstm = nn.BiLSTM(2, 4, rng=_rng())
+        x = _rng(1).standard_normal((1, 8, 2)).astype(np.float32)
+        base = bilstm(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 7] += 10.0  # last step: must change *early* outputs too
+        out = bilstm(Tensor(x2)).data
+        assert not np.allclose(out[0, 0], base[0, 0])
+
+    def test_backward(self):
+        bilstm = nn.BiLSTM(3, 4, rng=_rng())
+        x = Tensor(_rng(1).standard_normal((2, 5, 3)).astype(np.float32), requires_grad=True)
+        (bilstm(x) ** 2).mean().backward()
+        assert x.grad is not None
+
+
+class TestGRU:
+    def test_output_shape(self):
+        gru = nn.GRU(4, 8, rng=_rng())
+        out = gru(Tensor(np.zeros((3, 7, 4), dtype=np.float32)))
+        assert out.shape == (3, 7, 8)
+
+    def test_causality(self):
+        gru = nn.GRU(2, 4, rng=_rng())
+        x = _rng(1).standard_normal((1, 8, 2)).astype(np.float32)
+        base = gru(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out = gru(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-5)
+        assert not np.allclose(out[0, 5:], base[0, 5:])
+
+    def test_backward_through_time(self):
+        gru = nn.GRU(3, 5, rng=_rng())
+        x = Tensor(_rng(1).standard_normal((2, 6, 3)).astype(np.float32), requires_grad=True)
+        (gru(x) ** 2).mean().backward()
+        assert x.grad is not None
+        assert not np.allclose(x.grad[:, 0], 0)
+
+    def test_hidden_state_stays_bounded(self):
+        """Gated updates interpolate, so hidden values stay in (-1, 1)."""
+        gru = nn.GRU(1, 4, rng=_rng())
+        x = Tensor(np.full((1, 50, 1), 10.0, dtype=np.float32))
+        out = gru(x).data
+        assert np.abs(out).max() <= 1.0 + 1e-5

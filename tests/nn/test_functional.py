@@ -1,0 +1,149 @@
+"""Tests for repro.nn.functional: softmax, gelu, dropout, one-hot, cosine."""
+
+import numpy as np
+import pytest
+from scipy.special import softmax as scipy_softmax
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..helpers import check_gradients
+
+
+class TestSoftmax:
+    def test_matches_scipy(self):
+        x = np.random.default_rng(0).standard_normal((4, 5))
+        out = F.softmax(Tensor(x, dtype=np.float64), axis=-1)
+        np.testing.assert_allclose(out.data, scipy_softmax(x, axis=-1), rtol=1e-6)
+
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(1).standard_normal((3, 7))
+        out = F.softmax(Tensor(x), axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), rtol=1e-5)
+
+    def test_stable_for_large_logits(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]])
+        out = F.softmax(Tensor(x, dtype=np.float64), axis=-1).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5], atol=1e-9)
+
+    def test_gradcheck(self):
+        check_gradients(lambda ts: (F.softmax(ts[0], axis=-1) ** 2).sum(), [(3, 5)])
+
+    def test_axis_argument(self):
+        x = np.random.default_rng(2).standard_normal((3, 4))
+        out = F.softmax(Tensor(x, dtype=np.float64), axis=0)
+        np.testing.assert_allclose(out.data, scipy_softmax(x, axis=0), rtol=1e-6)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = np.random.default_rng(0).standard_normal((4, 5))
+        log_out = F.log_softmax(Tensor(x, dtype=np.float64), axis=-1).data
+        np.testing.assert_allclose(log_out, np.log(scipy_softmax(x, axis=-1)), rtol=1e-6)
+
+    def test_stable_for_large_logits(self):
+        x = np.array([[500.0, -500.0]])
+        out = F.log_softmax(Tensor(x, dtype=np.float64), axis=-1).data
+        assert np.isfinite(out).all()
+
+    def test_gradcheck(self):
+        check_gradients(lambda ts: (F.log_softmax(ts[0], axis=-1) * np.arange(15.0).reshape(3, 5)).sum(), [(3, 5)])
+
+
+class TestGelu:
+    def test_known_values(self):
+        out = F.gelu(Tensor(np.array([0.0]), dtype=np.float64)).data
+        np.testing.assert_allclose(out, [0.0], atol=1e-8)
+        # gelu(x) -> x for large positive x
+        out = F.gelu(Tensor(np.array([10.0]), dtype=np.float64)).data
+        np.testing.assert_allclose(out, [10.0], rtol=1e-6)
+
+    def test_gradcheck(self):
+        check_gradients(lambda ts: F.gelu(ts[0]).sum(), [(4, 4)])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_probability_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.0, np.random.default_rng(0), training=True)
+        assert out is x
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True).data
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_mask_zeroes_fraction(self):
+        rng = np.random.default_rng(0)
+        out = F.dropout(Tensor(np.ones((100, 100))), 0.4, rng).data
+        zero_fraction = (out == 0).mean()
+        assert abs(zero_fraction - 0.4) < 0.03
+
+    def test_two_calls_differ(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((20, 20)))
+        a = F.dropout(x, 0.5, rng).data
+        b = F.dropout(x, 0.5, rng).data
+        assert not np.array_equal(a, b)
+
+    def test_gradient_flows_through_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((5, 5)), requires_grad=True)
+        out = F.dropout(x, 0.5, rng)
+        out.sum().backward()
+        # Gradient equals the mask itself (scaled), zero where dropped.
+        np.testing.assert_allclose(x.grad, out.data)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=np.float32))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_empty(self):
+        assert F.one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestNormalizeAndCosine:
+    def test_normalize_unit_norm(self):
+        x = np.random.default_rng(0).standard_normal((6, 8))
+        out = F.normalize(Tensor(x, dtype=np.float64), axis=-1).data
+        np.testing.assert_allclose(np.linalg.norm(out, axis=-1), np.ones(6), rtol=1e-6)
+
+    def test_cosine_of_identical_vectors_is_one(self):
+        x = np.random.default_rng(0).standard_normal((4, 8))
+        sim = F.cosine_similarity(Tensor(x, dtype=np.float64), Tensor(x, dtype=np.float64)).data
+        np.testing.assert_allclose(sim, np.ones(4), rtol=1e-6)
+
+    def test_cosine_of_opposite_vectors_is_minus_one(self):
+        x = np.random.default_rng(0).standard_normal((4, 8))
+        sim = F.cosine_similarity(Tensor(x, dtype=np.float64), Tensor(-x, dtype=np.float64)).data
+        np.testing.assert_allclose(sim, -np.ones(4), rtol=1e-6)
+
+    def test_cosine_orthogonal(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        sim = F.cosine_similarity(Tensor(a, dtype=np.float64), Tensor(b, dtype=np.float64)).data
+        np.testing.assert_allclose(sim, [0.0], atol=1e-9)
+
+    def test_cosine_gradcheck(self):
+        check_gradients(
+            lambda ts: F.cosine_similarity(ts[0], ts[1]).sum(), [(3, 6), (3, 6)]
+        )

@@ -1,0 +1,175 @@
+"""Tests for every loss: values, gradients, and the stop-gradient semantics
+central to TimeDRL."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+from ..helpers import check_gradients
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        loss = nn.mse_loss(Tensor(np.array([1.0, 2.0])), Tensor(np.array([3.0, 2.0])))
+        np.testing.assert_allclose(float(loss.data), 2.0)
+
+    def test_mse_zero_when_equal(self):
+        x = Tensor(_rng().standard_normal((3, 3)))
+        assert float(nn.mse_loss(x, x).data) == 0.0
+
+    def test_mae_value(self):
+        loss = nn.mae_loss(Tensor(np.array([1.0, -2.0])), Tensor(np.array([2.0, 2.0])))
+        np.testing.assert_allclose(float(loss.data), 2.5)
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor(np.array([0.5]))
+        target = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(float(nn.huber_loss(pred, target).data), 0.125)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        target = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(float(nn.huber_loss(pred, target, delta=1.0).data), 2.5)
+
+    def test_mse_gradcheck(self):
+        check_gradients(lambda ts: nn.mse_loss(ts[0], ts[1]), [(4, 3), (4, 3)])
+
+    def test_mae_gradcheck(self):
+        # Offset so no element sits at the |.| kink.
+        check_gradients(lambda ts: nn.mae_loss(ts[0] + 10.0, ts[1]), [(4, 3), (4, 3)])
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = nn.cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        logits = Tensor(np.zeros((5, 4)))
+        loss = nn.cross_entropy(logits, np.array([0, 1, 2, 3, 0]))
+        np.testing.assert_allclose(float(loss.data), np.log(4), rtol=1e-5)
+
+    def test_gradcheck(self):
+        labels = np.array([0, 2, 1])
+        check_gradients(lambda ts: nn.cross_entropy(ts[0], labels), [(3, 4)])
+
+    def test_gradient_points_toward_correct_class(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        nn.cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0  # increasing correct logit lowers loss
+        assert logits.grad[0, 0] > 0
+
+
+class TestNegativeCosineSimilarity:
+    def test_aligned_vectors_give_minus_one(self):
+        z = Tensor(_rng().standard_normal((4, 8)))
+        loss = nn.negative_cosine_similarity(z, z)
+        np.testing.assert_allclose(float(loss.data), -1.0, rtol=1e-5)
+
+    def test_stop_gradient_applied_to_target(self):
+        """Gradient must flow only through the prediction branch (Eq. 16)."""
+        pred = Tensor(_rng(1).standard_normal((4, 8)), requires_grad=True)
+        target = Tensor(_rng(2).standard_normal((4, 8)), requires_grad=True)
+        nn.negative_cosine_similarity(pred, target).backward()
+        assert pred.grad is not None
+        assert target.grad is None
+
+    def test_gradcheck_prediction_branch(self):
+        target = Tensor(_rng(3).standard_normal((3, 6)).astype(np.float64))
+        check_gradients(
+            lambda ts: nn.negative_cosine_similarity(ts[0], target), [(3, 6)]
+        )
+
+
+class TestNTXent:
+    def test_positive_pairs_lower_loss(self):
+        rng = _rng(0)
+        z = rng.standard_normal((6, 8)).astype(np.float32)
+        aligned = nn.nt_xent_loss(Tensor(z), Tensor(z + 0.01 * rng.standard_normal((6, 8)).astype(np.float32)))
+        shuffled = nn.nt_xent_loss(Tensor(z), Tensor(z[::-1].copy()))
+        assert float(aligned.data) < float(shuffled.data)
+
+    def test_backward(self):
+        z1 = Tensor(_rng(1).standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        z2 = Tensor(_rng(2).standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        nn.nt_xent_loss(z1, z2).backward()
+        assert z1.grad is not None and z2.grad is not None
+
+    def test_temperature_scales_sharpness(self):
+        rng = _rng(0)
+        z1 = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+        z2 = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+        sharp = float(nn.nt_xent_loss(z1, z2, temperature=0.1).data)
+        smooth = float(nn.nt_xent_loss(z1, z2, temperature=10.0).data)
+        assert sharp != smooth
+
+
+class TestTripletLoss:
+    def test_separates_positive_from_negatives(self):
+        rng = _rng(0)
+        anchor = Tensor(rng.standard_normal((5, 8)).astype(np.float32))
+        close = nn.triplet_loss(anchor, anchor, Tensor(-anchor.data[:, None, :].repeat(3, 1)))
+        far = nn.triplet_loss(anchor, Tensor(-anchor.data),
+                              Tensor(anchor.data[:, None, :].repeat(3, 1)))
+        assert float(close.data) < float(far.data)
+
+    def test_backward(self):
+        rng = _rng(1)
+        anchor = Tensor(rng.standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+        positive = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+        negatives = Tensor(rng.standard_normal((4, 3, 8)).astype(np.float32))
+        nn.triplet_loss(anchor, positive, negatives).backward()
+        assert anchor.grad is not None
+
+    def test_log_sigmoid_stability(self):
+        """Large scores must not overflow."""
+        anchor = Tensor(np.full((2, 4), 100.0, dtype=np.float32))
+        positive = Tensor(np.full((2, 4), 100.0, dtype=np.float32))
+        negatives = Tensor(np.full((2, 2, 4), 100.0, dtype=np.float32))
+        loss = nn.triplet_loss(anchor, positive, negatives)
+        assert np.isfinite(float(loss.data))
+
+
+class TestHierarchicalContrastiveLoss:
+    def test_scalar_output(self):
+        rng = _rng(0)
+        z1 = Tensor(rng.standard_normal((4, 8, 6)).astype(np.float32))
+        z2 = Tensor(rng.standard_normal((4, 8, 6)).astype(np.float32))
+        loss = nn.hierarchical_contrastive_loss(z1, z2)
+        assert loss.data.shape == ()
+
+    def test_aligned_views_score_better(self):
+        rng = _rng(0)
+        base = rng.standard_normal((6, 8, 4)).astype(np.float32)
+        noise = 0.01 * rng.standard_normal((6, 8, 4)).astype(np.float32)
+        aligned = nn.hierarchical_contrastive_loss(Tensor(base), Tensor(base + noise))
+        scrambled = nn.hierarchical_contrastive_loss(Tensor(base), Tensor(base[::-1].copy()))
+        assert float(aligned.data) < float(scrambled.data)
+
+    def test_backward(self):
+        rng = _rng(1)
+        z1 = Tensor(rng.standard_normal((3, 8, 4)).astype(np.float32), requires_grad=True)
+        z2 = Tensor(rng.standard_normal((3, 8, 4)).astype(np.float32), requires_grad=True)
+        nn.hierarchical_contrastive_loss(z1, z2).backward()
+        assert z1.grad is not None and z2.grad is not None
+
+    def test_single_timestep_degenerates_gracefully(self):
+        rng = _rng(2)
+        z1 = Tensor(rng.standard_normal((4, 1, 4)).astype(np.float32))
+        z2 = Tensor(rng.standard_normal((4, 1, 4)).astype(np.float32))
+        loss = nn.hierarchical_contrastive_loss(z1, z2)
+        assert np.isfinite(float(loss.data))
+
+    def test_max_depth_bounds_recursion(self):
+        rng = _rng(3)
+        z1 = Tensor(rng.standard_normal((2, 64, 4)).astype(np.float32))
+        z2 = Tensor(rng.standard_normal((2, 64, 4)).astype(np.float32))
+        loss = nn.hierarchical_contrastive_loss(z1, z2, max_depth=2)
+        assert np.isfinite(float(loss.data))

@@ -1,0 +1,106 @@
+"""Property-based tests for the loss functions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.nn import Tensor
+
+FINITE = {"allow_nan": False, "allow_infinity": False, "min_value": -20, "max_value": 20}
+
+
+def matrices(rows=(2, 8), cols=(2, 8)):
+    return arrays(np.float64, st.tuples(st.integers(*rows), st.integers(*cols)),
+                  elements=st.floats(width=32, **FINITE))
+
+
+class TestRegressionLossProperties:
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_mse_identity_is_zero(self, data):
+        t = Tensor(data)
+        assert float(nn.mse_loss(t, t).data) == 0.0
+        assert float(nn.mae_loss(t, t).data) == 0.0
+
+    @given(matrices(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_mse_scales_quadratically(self, data, scale):
+        zero = Tensor(np.zeros_like(data))
+        base = float(nn.mse_loss(Tensor(data), zero).data)
+        scaled = float(nn.mse_loss(Tensor(data * scale), zero).data)
+        np.testing.assert_allclose(scaled, base * scale**2, rtol=1e-4)
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_huber_between_half_mse_and_mae(self, data):
+        """delta=1: huber <= 0.5*mse elementwise region and huber <= mae + 0.5."""
+        zero = Tensor(np.zeros_like(data))
+        huber = float(nn.huber_loss(Tensor(data), zero, delta=1.0).data)
+        mae = float(nn.mae_loss(Tensor(data), zero).data)
+        mse = float(nn.mse_loss(Tensor(data), zero).data)
+        assert huber <= 0.5 * mse + 1e-6
+        assert huber <= mae + 1e-6
+
+
+class TestCrossEntropyProperties:
+    @given(matrices(rows=(2, 6), cols=(2, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative(self, logits):
+        labels = np.zeros(len(logits), dtype=int)
+        assert float(nn.cross_entropy(Tensor(logits), labels).data) >= -1e-7
+
+    @given(matrices(rows=(2, 6), cols=(2, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, logits):
+        """Adding a constant per row must not change the loss."""
+        labels = np.arange(len(logits)) % logits.shape[1]
+        base = float(nn.cross_entropy(Tensor(logits), labels).data)
+        shifted = float(nn.cross_entropy(Tensor(logits + 7.0), labels).data)
+        np.testing.assert_allclose(base, shifted, atol=1e-5)
+
+    @given(matrices(rows=(2, 6), cols=(2, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_rows_sum_to_zero(self, logits):
+        """d(CE)/d(logits) per row sums to zero (softmax simplex constraint)."""
+        labels = np.zeros(len(logits), dtype=int)
+        t = Tensor(logits, requires_grad=True)
+        nn.cross_entropy(t, labels).backward()
+        np.testing.assert_allclose(t.grad.sum(axis=1), 0.0, atol=1e-6)
+
+
+class TestBCEProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(1, 16)),
+                  elements=st.floats(width=32, **FINITE)))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_under_label_flip(self, logits):
+        """BCE(x, 1) == BCE(-x, 0)."""
+        ones = np.ones(len(logits))
+        a = float(nn.binary_cross_entropy_with_logits(Tensor(logits), ones).data)
+        b = float(nn.binary_cross_entropy_with_logits(Tensor(-logits), ones * 0).data)
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 16)),
+                  elements=st.floats(width=32, min_value=-500, max_value=500,
+                                     allow_nan=False, allow_infinity=False)))
+    @settings(max_examples=30, deadline=None)
+    def test_stable_for_extreme_logits(self, logits):
+        out = float(nn.binary_cross_entropy_with_logits(
+            Tensor(logits), np.ones(len(logits))).data)
+        assert np.isfinite(out)
+
+
+class TestContrastiveProperties:
+    @given(matrices(rows=(2, 6), cols=(4, 8)))
+    @settings(max_examples=30, deadline=None)
+    def test_negative_cosine_bounded(self, data):
+        loss = nn.negative_cosine_similarity(Tensor(data), Tensor(data[::-1].copy()))
+        assert -1.0 - 1e-6 <= float(loss.data) <= 1.0 + 1e-6
+
+    @given(matrices(rows=(2, 5), cols=(4, 8)))
+    @settings(max_examples=20, deadline=None)
+    def test_nt_xent_lower_bounded_by_zero_ish(self, data):
+        """NT-Xent is a cross-entropy: non-negative."""
+        loss = nn.nt_xent_loss(Tensor(data), Tensor(data + 0.1))
+        assert float(loss.data) >= -1e-6

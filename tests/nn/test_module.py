@@ -1,0 +1,147 @@
+"""Tests for the Module system: registration, traversal, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Module, Parameter, Sequential, Tensor
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=_rng(0))
+        self.fc2 = nn.Linear(8, 2, rng=_rng(1))
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        net = TinyNet()
+        # fc1 (w+b) + fc2 (w+b) + scale
+        assert len(net.parameters()) == 5
+
+    def test_named_parameters_have_dotted_paths(self):
+        names = dict(TinyNet().named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+        assert "scale" in names
+
+    def test_shared_parameter_not_double_counted(self):
+        net = TinyNet()
+        net.alias = net.fc1  # same module registered twice
+        assert len(net.parameters()) == 5
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert net.num_parameters() == expected
+
+    def test_modules_iterates_tree(self):
+        net = TinyNet()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = Sequential(nn.Dropout(0.5), nn.Linear(3, 3, rng=_rng()))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4), dtype=np.float32)))
+        (out ** 2).mean().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        net = TinyNet()
+        state = net.state_dict()
+        fresh = TinyNet()
+        fresh.fc1.weight.data[...] = 0  # perturb
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.fc1.weight.data, net.fc1.weight.data)
+
+    def test_state_dict_values_are_copies(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"][...] = 99.0
+        assert net.scale.data[0] == 1.0
+
+    def test_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        net = TinyNet()
+        path = str(tmp_path / "model.npz")
+        net.save(path)
+        fresh = TinyNet()
+        fresh.scale.data[...] = -1
+        fresh.load(path)
+        np.testing.assert_allclose(fresh.scale.data, net.scale.data)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        net = Sequential(nn.Linear(3, 5, rng=_rng(0)), nn.ReLU(), nn.Linear(5, 2, rng=_rng(1)))
+        out = net(Tensor(np.ones((4, 3), dtype=np.float32)))
+        assert out.shape == (4, 2)
+
+    def test_len_and_indexing(self):
+        relu = nn.ReLU()
+        net = Sequential(nn.Linear(3, 3, rng=_rng()), relu)
+        assert len(net) == 2
+        assert net[1] is relu
+
+    def test_iteration(self):
+        net = Sequential(nn.ReLU(), nn.Tanh())
+        assert [type(m).__name__ for m in net] == ["ReLU", "Tanh"]
+
+
+class TestModuleList:
+    def test_append_and_iterate(self):
+        items = nn.ModuleList()
+        items.append(nn.ReLU())
+        items.append(nn.Tanh())
+        assert len(items) == 2
+        assert type(items[0]).__name__ == "ReLU"
+
+    def test_parameters_visible(self):
+        items = nn.ModuleList([nn.Linear(2, 2, rng=_rng())])
+        assert len(items.parameters()) == 2
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList()(Tensor(np.zeros(1)))

@@ -1,0 +1,118 @@
+"""Edge-case tests for Tensor paths not covered by the main op tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+class TestConversionAndIntrospection:
+    def test_astype_forward_and_backward(self):
+        t = Tensor(np.array([1.0, 2.0], dtype=np.float64), requires_grad=True)
+        out = t.astype(np.float32)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert t.grad.dtype == np.float64
+        np.testing.assert_allclose(t.grad, [1.0, 1.0])
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_item_multielement_raises(self):
+        with pytest.raises(Exception):
+            Tensor(np.array([1.0, 2.0])).item()
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_T_property(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.T.shape == (3, 2)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalar(self):
+        t = as_tensor(2.5)
+        assert float(t.data) == 2.5
+
+    def test_is_grad_enabled_reflects_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestComparisonOperators:
+    def test_comparisons_return_ndarrays(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        b = Tensor(np.array([2.0, 2.0]))
+        np.testing.assert_array_equal(a > b, [False, True])
+        np.testing.assert_array_equal(a < b, [True, False])
+        np.testing.assert_array_equal(a >= Tensor(np.array([1.0, 4.0])), [True, False])
+        np.testing.assert_array_equal(a <= 3.0, [True, True])
+
+    def test_comparison_with_scalar(self):
+        t = Tensor(np.array([-1.0, 1.0]))
+        np.testing.assert_array_equal(t > 0, [False, True])
+
+
+class TestGradientEdgeCases:
+    def test_pad_3d_backward(self):
+        t = Tensor(np.ones((2, 3, 2)), requires_grad=True)
+        out = t.pad(((0, 0), (1, 2), (0, 1)))
+        assert out.shape == (2, 6, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 2)))
+
+    def test_grad_through_long_chain(self):
+        """Deep chains must not hit recursion limits (iterative toposort)."""
+        t = Tensor(np.ones(4), requires_grad=True)
+        out = t
+        for __ in range(500):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(4))
+
+    def test_mixed_grad_and_nograd_parents(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.full(3, 2.0))  # no grad
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0, 2.0])
+        assert b.grad is None
+
+    def test_backward_with_explicit_seed_gradient(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = t * 3.0
+        out.backward(np.full((2, 2), 0.5))
+        np.testing.assert_allclose(t.grad, np.full((2, 2), 1.5))
+
+    def test_no_grad_output_detached_from_inputs(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0) + 1.0
+        assert not out.requires_grad
+        with pytest.raises(RuntimeError):
+            out.sum().backward()
+
+    def test_sum_then_broadcast_grad_shapes(self):
+        t = Tensor(np.ones((3, 4)), requires_grad=True)
+        out = t.sum(axis=0) * Tensor(np.arange(4.0))
+        out.sum().backward()
+        expected = np.tile(np.arange(4.0), (3, 1))
+        np.testing.assert_allclose(t.grad, expected)
+
+
+class TestDtypePolicy:
+    def test_bool_payload_preserved(self):
+        t = Tensor(np.array([True, False]))
+        assert t.dtype == np.bool_
+
+    def test_float16_upcast_to_default(self):
+        t = Tensor(np.zeros(3, dtype=np.float16))
+        assert t.dtype == np.float32
+
+    def test_numpy_scalar_preserves_float64(self):
+        scalar = np.float64(3.0)
+        assert Tensor(scalar).dtype == np.float64

@@ -1,0 +1,134 @@
+"""Tests for the Table VI augmentation zoo (used by the ablation and by the
+contrastive baselines; TimeDRL's default pipeline must never touch them)."""
+
+import numpy as np
+import pytest
+
+from repro import augmentations as aug
+
+
+def _batch(n=4, t=32, c=3, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, t, c)).astype(np.float32)
+
+
+class TestJitter:
+    def test_preserves_shape_and_dtype(self):
+        x = _batch()
+        out = aug.jitter(x, np.random.default_rng(0))
+        assert out.shape == x.shape and out.dtype == x.dtype
+
+    def test_noise_magnitude(self):
+        x = np.zeros((2, 1000, 1), dtype=np.float32)
+        out = aug.jitter(x, np.random.default_rng(0), sigma=0.5)
+        assert abs(out.std() - 0.5) < 0.05
+
+    def test_does_not_mutate_input(self):
+        x = _batch()
+        snapshot = x.copy()
+        aug.jitter(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(x, snapshot)
+
+
+class TestScaling:
+    def test_scales_whole_channels(self):
+        """One scalar per (sample, channel): ratio across time is constant."""
+        x = np.ones((2, 50, 3), dtype=np.float32)
+        out = aug.scaling(x, np.random.default_rng(0), sigma=0.5)
+        per_channel_std = out.std(axis=1)
+        np.testing.assert_allclose(per_channel_std, 0, atol=1e-6)
+
+    def test_factors_vary_across_channels(self):
+        x = np.ones((1, 10, 8), dtype=np.float32)
+        out = aug.scaling(x, np.random.default_rng(0), sigma=0.5)
+        assert out[0, 0].std() > 0.01
+
+
+class TestRotation:
+    def test_permutes_channels_and_flips_signs(self):
+        x = _batch(n=1, c=6)
+        out = aug.rotation(x, np.random.default_rng(3))
+        # Every output channel must equal ±(some input channel).
+        for out_channel in range(6):
+            matches = [
+                np.allclose(out[0][:, out_channel], sign * x[0][:, in_channel])
+                for in_channel in range(6) for sign in (+1, -1)
+            ]
+            assert any(matches)
+
+    def test_preserves_energy(self):
+        x = _batch()
+        out = aug.rotation(x, np.random.default_rng(0))
+        np.testing.assert_allclose((out ** 2).sum(), (x ** 2).sum(), rtol=1e-5)
+
+
+class TestPermutation:
+    def test_is_a_permutation_of_timesteps(self):
+        x = _batch(n=2)
+        out = aug.permutation(x, np.random.default_rng(0))
+        np.testing.assert_allclose(np.sort(out, axis=1), np.sort(x, axis=1), atol=1e-6)
+
+    def test_usually_changes_order(self):
+        x = np.arange(64, dtype=np.float32).reshape(1, 64, 1)
+        out = aug.permutation(x, np.random.default_rng(1))
+        assert not np.array_equal(out, x)
+
+    def test_short_sequences_survive(self):
+        x = _batch(t=3)
+        out = aug.permutation(x, np.random.default_rng(0), max_segments=5)
+        assert out.shape == x.shape
+
+
+class TestMasking:
+    def test_zeroes_expected_fraction(self):
+        x = np.ones((4, 500, 2), dtype=np.float32)
+        out = aug.masking(x, np.random.default_rng(0), ratio=0.3)
+        assert abs((out == 0).mean() - 0.3) < 0.05
+
+    def test_unmasked_values_unchanged(self):
+        x = _batch()
+        out = aug.masking(x, np.random.default_rng(0), ratio=0.2)
+        kept = out != 0
+        np.testing.assert_array_equal(out[kept], x[kept])
+
+
+class TestCropping:
+    def test_keeps_contiguous_region(self):
+        x = np.ones((1, 100, 1), dtype=np.float32)
+        out = aug.cropping(x, np.random.default_rng(0), crop_ratio=0.5)
+        kept = np.flatnonzero(out[0, :, 0])
+        assert len(kept) == 50
+        assert np.array_equal(kept, np.arange(kept[0], kept[0] + 50))
+
+    def test_length_preserved(self):
+        x = _batch()
+        out = aug.cropping(x, np.random.default_rng(0))
+        assert out.shape == x.shape
+
+
+class TestRegistryAndPolicies:
+    def test_registry_covers_table6(self):
+        assert set(aug.AUGMENTATIONS) == {
+            "jitter", "scaling", "rotation", "permutation", "masking", "cropping"}
+
+    def test_all_augmentations_runnable(self):
+        x = _batch()
+        rng = np.random.default_rng(0)
+        for name, func in aug.AUGMENTATIONS.items():
+            out = func(x, rng)
+            assert out.shape == x.shape, name
+            assert np.isfinite(out).all(), name
+
+    def test_weak_and_strong_policies(self):
+        x = _batch()
+        rng = np.random.default_rng(0)
+        weak = aug.weak_augment(x, rng)
+        strong = aug.strong_augment(x, rng)
+        assert weak.shape == strong.shape == x.shape
+        # Strong (permutation-based) disturbs temporal order more than weak.
+        weak_corr = np.corrcoef(weak.ravel(), x.ravel())[0, 1]
+        strong_corr = np.corrcoef(strong.ravel(), x.ravel())[0, 1]
+        assert weak_corr > strong_corr
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            aug.jitter(np.zeros((10, 3)), np.random.default_rng(0))

@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Covers: autograd algebraic identities, patching round-trips, scaler
+round-trips, metric axioms, softmax/normalisation invariants, k-means
+contracts and augmentation conservation laws.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import nn
+from repro.augmentations import permutation, rotation
+from repro.baselines import kmeans
+from repro.core import instance_norm, patchify, unpatchify
+from repro.data import StandardScaler
+from repro.evaluation import metrics
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+FINITE = {"allow_nan": False, "allow_infinity": False, "min_value": -100, "max_value": 100}
+
+
+def finite_arrays(shape_args=None, **kwargs):
+    if shape_args is None:
+        shape_args = array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=6)
+    return arrays(np.float64, shape_args, elements=st.floats(width=32, **FINITE), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Autograd algebra
+# ----------------------------------------------------------------------
+class TestAutogradProperties:
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_linearity(self, data):
+        """d/dx sum(a*x) == a, independent of x."""
+        x = Tensor(data, requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(data, 3.0), rtol=1e-6)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutativity(self, data):
+        x = Tensor(data)
+        left = (x + 1.5).data
+        right = (1.5 + x).data
+        np.testing.assert_array_equal(left, right)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, data):
+        x = Tensor(data)
+        np.testing.assert_array_equal((-(-x)).data, data)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_detach_blocks_gradient(self, data):
+        x = Tensor(data, requires_grad=True)
+        (x.detach() * 2.0).sum()
+        assert x.grad is None
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_accumulation_is_additive(self, data):
+        x = Tensor(data, requires_grad=True)
+        (x * 2.0).sum().backward()
+        first = x.grad.copy()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first, rtol=1e-6)
+
+    @given(finite_arrays(array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=5)))
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_involution(self, data):
+        x = Tensor(data)
+        np.testing.assert_array_equal(x.transpose().transpose().data, data)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent(self, data):
+        x = Tensor(data)
+        once = x.relu().data
+        twice = x.relu().relu().data
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestFunctionalProperties:
+    @given(finite_arrays(array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8)))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_distribution(self, data):
+        out = F.softmax(Tensor(data), axis=-1).data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-5)
+
+    @given(finite_arrays(array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8)))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_shift_invariance(self, data):
+        base = F.softmax(Tensor(data), axis=-1).data
+        shifted = F.softmax(Tensor(data + 17.0), axis=-1).data
+        np.testing.assert_allclose(base, shifted, atol=1e-6)
+
+    @given(finite_arrays(array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8)))
+    @settings(max_examples=40, deadline=None)
+    def test_normalize_unit_norm_or_zero(self, data):
+        out = F.normalize(Tensor(data), axis=-1).data
+        norms = np.linalg.norm(out, axis=-1)
+        assert ((norms < 1.0 + 1e-4)).all()
+
+    @given(finite_arrays(array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=8)))
+    @settings(max_examples=40, deadline=None)
+    def test_cosine_similarity_bounded(self, data):
+        a = Tensor(data)
+        b = Tensor(data[::-1].copy())
+        sim = F.cosine_similarity(a, b).data
+        assert (np.abs(sim) <= 1.0 + 1e-5).all()
+
+
+# ----------------------------------------------------------------------
+# Patching / normalisation
+# ----------------------------------------------------------------------
+series_batches = arrays(
+    np.float32,
+    st.tuples(st.integers(1, 4), st.integers(8, 40), st.integers(1, 4)),
+    elements=st.floats(width=16, allow_nan=False, allow_infinity=False,
+                       min_value=-50, max_value=50),
+)
+
+
+class TestPatchingProperties:
+    @given(series_batches, st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_patchify_unpatchify_roundtrip(self, x, patch_len):
+        t_usable = (x.shape[1] // patch_len) * patch_len
+        patches = patchify(x, patch_len, patch_len)
+        restored = unpatchify(patches, channels=x.shape[2], patch_len=patch_len)
+        np.testing.assert_allclose(restored, x[:, :t_usable, :], atol=1e-6)
+
+    @given(series_batches, st.sampled_from([2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_patchify_preserves_values(self, x, patch_len):
+        patches = patchify(x, patch_len, patch_len)
+        t_usable = (x.shape[1] // patch_len) * patch_len
+        assert sorted(patches.ravel().tolist()) == \
+            sorted(x[:, :t_usable, :].ravel().tolist())
+
+    @given(series_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_instance_norm_scale_invariance(self, x):
+        # Near-constant channels are eps-dominated; invariance only holds
+        # where the signal exceeds the numerical floor.
+        assume(x.std(axis=1).min() > 0.1)
+        base = instance_norm(x)
+        scaled = instance_norm(x * 3.0 + 5.0)
+        np.testing.assert_allclose(base, scaled, atol=1e-2)
+
+
+class TestScalerProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(4, 50), st.integers(1, 5)),
+                  elements=st.floats(width=32, **FINITE)))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, data):
+        scaler = StandardScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(restored, data, atol=1e-3, rtol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Metrics axioms
+# ----------------------------------------------------------------------
+label_pairs = st.integers(2, 5).flatmap(
+    lambda k: st.tuples(
+        st.lists(st.integers(0, k - 1), min_size=2, max_size=40),
+        st.lists(st.integers(0, k - 1), min_size=2, max_size=40),
+    ).filter(lambda pair: len(pair[0]) == len(pair[1]))
+)
+
+
+class TestMetricProperties:
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_saturates_metrics(self, labels):
+        y = np.asarray(labels)
+        assert metrics.accuracy(y, y) == 1.0
+        assert metrics.macro_f1(y, y) == 1.0
+
+    @given(label_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_metric_ranges(self, pair):
+        y_true, y_pred = np.asarray(pair[0]), np.asarray(pair[1])
+        assert 0.0 <= metrics.accuracy(y_true, y_pred) <= 1.0
+        assert 0.0 <= metrics.macro_f1(y_true, y_pred) <= 1.0
+        assert -1.0 <= metrics.cohen_kappa(y_true, y_pred) <= 1.0
+
+    @given(arrays(np.float64, st.tuples(st.integers(1, 30)),
+                  elements=st.floats(width=32, **FINITE)),
+           arrays(np.float64, st.tuples(st.integers(1, 30)),
+                  elements=st.floats(width=32, **FINITE)))
+    @settings(max_examples=40, deadline=None)
+    def test_mse_mae_non_negative_and_symmetric(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert metrics.mse(a, b) >= 0
+        assert metrics.mae(a, b) >= 0
+        np.testing.assert_allclose(metrics.mse(a, b), metrics.mse(b, a))
+        np.testing.assert_allclose(metrics.mae(a, b), metrics.mae(b, a))
+
+    @given(arrays(np.float64, st.tuples(st.integers(2, 30)),
+                  elements=st.floats(width=32, **FINITE)))
+    @settings(max_examples=40, deadline=None)
+    def test_mae_le_rmse(self, a):
+        """Jensen: MAE <= sqrt(MSE) for any error vector."""
+        zeros = np.zeros_like(a)
+        assert metrics.mae(a, zeros) <= np.sqrt(metrics.mse(a, zeros)) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Clustering and augmentations
+# ----------------------------------------------------------------------
+class TestKMeansProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(3, 40), st.integers(1, 4)),
+                  elements=st.floats(width=32, **FINITE)),
+           st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_assignments_are_valid_and_centroids_finite(self, points, k):
+        centroids, assignments = kmeans(points, k, rng=np.random.default_rng(0))
+        assert np.isfinite(centroids).all()
+        assert assignments.min() >= 0
+        assert assignments.max() < len(centroids)
+
+
+class TestAugmentationProperties:
+    @given(series_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_conserves_multiset(self, x):
+        out = permutation(x, np.random.default_rng(0))
+        np.testing.assert_allclose(np.sort(out, axis=1), np.sort(x, axis=1),
+                                   atol=1e-6)
+
+    @given(series_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_conserves_energy(self, x):
+        out = rotation(x, np.random.default_rng(0))
+        np.testing.assert_allclose((out ** 2).sum(), (x ** 2).sum(),
+                                   rtol=1e-4, atol=1e-4)

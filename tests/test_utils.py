@@ -1,0 +1,89 @@
+"""Tests for the training utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import EarlyStopping, MetricTracker, Timer, set_global_seed
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=2, mode="min")
+        assert not stopper.step(1.0)
+        assert not stopper.step(1.1)   # worse x1
+        assert stopper.step(1.2)       # worse x2 -> stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, mode="min")
+        stopper.step(1.0)
+        stopper.step(1.1)
+        stopper.step(0.9)   # improvement
+        assert not stopper.step(1.0)
+        assert stopper.best == 0.9
+
+    def test_max_mode(self):
+        stopper = EarlyStopping(patience=1, mode="max")
+        stopper.step(0.5)
+        assert not stopper.step(0.7)
+        assert stopper.step(0.6)
+
+    def test_min_delta_requires_real_improvement(self):
+        stopper = EarlyStopping(patience=1, mode="min", min_delta=0.1)
+        stopper.step(1.0)
+        assert stopper.step(0.95)  # within delta: counts as stale
+
+    def test_best_step_tracked(self):
+        stopper = EarlyStopping(patience=5)
+        for value in (3.0, 2.0, 2.5, 1.0, 1.5):
+            stopper.step(value)
+        assert stopper.best == 1.0
+        assert stopper.best_step == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
+
+
+class TestMetricTracker:
+    def test_log_and_query(self):
+        tracker = MetricTracker()
+        tracker.log(loss=1.0, acc=0.5)
+        tracker.log(loss=0.5, acc=0.7)
+        assert tracker.last("loss") == 0.5
+        assert tracker.best("loss") == 0.5
+        assert tracker.best("acc", mode="max") == 0.7
+        assert tracker.mean("loss") == 0.75
+
+    def test_summary(self):
+        tracker = MetricTracker()
+        tracker.log(loss=2.0)
+        tracker.log(loss=1.0)
+        summary = tracker.summary()
+        assert summary["loss"]["count"] == 2
+        assert summary["loss"]["min"] == 1.0
+
+    def test_save_load_round_trip(self, tmp_path):
+        tracker = MetricTracker()
+        tracker.log(mse=0.3)
+        tracker.log(mse=0.2)
+        path = tmp_path / "metrics.json"
+        tracker.save(path)
+        restored = MetricTracker.load(path)
+        assert restored.history == {"mse": [0.3, 0.2]}
+
+
+class TestTimerAndSeed:
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(100_000))
+        assert timer.seconds > 0
+
+    def test_set_global_seed_reproducible(self):
+        rng1 = set_global_seed(42)
+        a = rng1.standard_normal(3)
+        legacy_a = np.random.standard_normal(3)
+        rng2 = set_global_seed(42)
+        np.testing.assert_array_equal(a, rng2.standard_normal(3))
+        np.testing.assert_array_equal(legacy_a, np.random.standard_normal(3))

@@ -1,0 +1,93 @@
+"""Tests for the SVG figure renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments import ResultTable
+from repro.viz import bar_chart, line_chart, render_fig4, render_fig5, render_fig6
+from repro.viz.svg import _nice_ticks
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 10.0 - 1e-9
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(2.0, 2.0) == [2.0]
+
+    def test_small_span(self):
+        ticks = _nice_ticks(0.1, 0.2)
+        assert 3 <= len(ticks) <= 7
+
+
+class TestLineChart:
+    def test_writes_valid_svg(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        text = line_chart({"a": [(0, 1.0), (1, 2.0)], "b": [(0, 2.0), (1, 1.0)]},
+                          path, title="demo", x_label="x", y_label="y")
+        assert path.exists()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+        assert text.count("<polyline") == 2
+        assert "demo" in text
+
+    def test_log_scale(self, tmp_path):
+        text = line_chart({"a": [(0, 1.0), (1, 1000.0)]}, tmp_path / "log.svg",
+                          log_y=True, y_label="mse")
+        assert "log10 mse" in text
+
+    def test_escapes_labels(self, tmp_path):
+        text = line_chart({"a<b": [(0, 1.0)]}, tmp_path / "esc.svg",
+                          title='x & "y"')
+        assert "a&lt;b" in text
+        assert "&amp;" in text
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            line_chart({}, tmp_path / "x.svg")
+
+
+class TestBarChart:
+    def test_one_bar_per_entry(self, tmp_path):
+        text = bar_chart({"m1": 3.0, "m2": 1.5, "m3": 2.0}, tmp_path / "bars.svg")
+        # frame rect + 3 bar rects + legend-free
+        assert text.count("<rect") == 4
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            bar_chart({}, tmp_path / "x.svg")
+
+
+class TestFigureRenderers:
+    def test_render_fig4(self, tmp_path):
+        table = ResultTable("t", columns=["ETTh1"])
+        for method, seconds in [("TimeDRL", 5.0), ("SimTS", 0.4)]:
+            table.add(method, "ETTh1", seconds)
+        text = render_fig4(table, tmp_path / "fig4.svg")
+        assert "Pre-training time" in text
+
+    def test_render_fig5_filters_dataset(self, tmp_path):
+        table = ResultTable("t", columns=["Supervised", "TimeDRL (FT)"])
+        for dataset in ("A", "B"):
+            for fraction in (10, 50, 100):
+                table.add(f"{dataset} @ {fraction}%", "Supervised", 1.0 / fraction)
+                table.add(f"{dataset} @ {fraction}%", "TimeDRL (FT)", 0.5 / fraction)
+        text = render_fig5(table, tmp_path / "fig5.svg", dataset="B", y_label="MSE")
+        assert "Semi-supervised learning on B" in text
+        assert text.count("<polyline") == 2
+
+    def test_render_fig5_unknown_dataset_raises(self, tmp_path):
+        table = ResultTable("t", columns=["Supervised"])
+        table.add("A @ 10%", "Supervised", 1.0)
+        with pytest.raises(KeyError):
+            render_fig5(table, tmp_path / "x.svg", dataset="Z")
+
+    def test_render_fig6_log_x(self, tmp_path):
+        table = ResultTable("t", columns=["ETTh1 MSE"])
+        for lam in (0.001, 1.0, 1000.0):
+            table.add(f"lambda={lam:g}", "ETTh1 MSE", math.log(lam + 2))
+        text = render_fig6(table, tmp_path / "fig6.svg")
+        assert "lambda" in text
