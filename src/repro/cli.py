@@ -5,12 +5,14 @@ Examples::
     python -m repro table3 --datasets ETTh1 Exchange --scale smoke
     python -m repro table5 --scale default --output results/
     python -m repro fig6 --scale smoke
+    python -m repro profile --steps 20 --sort-by self_s
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -102,6 +104,37 @@ EXPERIMENTS = {
 }
 
 
+def _run_profile(args) -> int:
+    """``repro profile`` — op-level profile of a short pre-training run."""
+    import numpy as np
+
+    from .core.config import PretrainConfig, TimeDRLConfig
+    from .core.pretrain import pretrain
+    from .nn import use_fused
+    from .utils.training import format_profile
+
+    model_config = TimeDRLConfig(seq_len=args.seq_len, input_channels=args.channels,
+                                 seed=args.seed)
+    train_config = PretrainConfig(epochs=1, batch_size=args.batch_size,
+                                  max_batches_per_epoch=args.steps,
+                                  profile=True, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    samples = rng.standard_normal(
+        (args.steps * args.batch_size, args.seq_len, args.channels)).astype(np.float32)
+    with use_fused(not args.unfused):
+        result = pretrain(model_config, samples, train_config)
+    kernels = "reference (unfused)" if args.unfused else "fused"
+    print(f"profiled {args.steps} pre-training steps "
+          f"(batch={args.batch_size}, T={args.seq_len}, C={args.channels}, "
+          f"{kernels} kernels) in {result.wall_clock_seconds:.3f}s")
+    print(format_profile(result.profile, sort_by=args.sort_by, limit=args.limit))
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(result.profile, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="experiment", required=True)
     list_parser = sub.add_parser("list", help="list available experiments")
     list_parser.set_defaults(experiment="list")
+    prof = sub.add_parser(
+        "profile", help="op-level profile of a short synthetic pre-training run")
+    prof.set_defaults(experiment="profile")
+    prof.add_argument("--steps", type=int, default=10, help="training steps to profile")
+    prof.add_argument("--batch-size", type=int, default=8)
+    prof.add_argument("--seq-len", type=int, default=128)
+    prof.add_argument("--channels", type=int, default=7)
+    prof.add_argument("--sort-by", choices=("count", "total_s", "self_s", "bytes"),
+                      default="total_s")
+    prof.add_argument("--limit", type=int, default=25, help="max rows to print")
+    prof.add_argument("--unfused", action="store_true",
+                      help="profile the reference (unfused) kernels instead")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--output", type=pathlib.Path, default=None,
+                      help="write the raw op stats as JSON to this file")
     for name, (__, description) in EXPERIMENTS.items():
         exp = sub.add_parser(name, help=description)
         exp.add_argument("--scale", choices=("smoke", "default", "full"),
@@ -139,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, (__, description) in EXPERIMENTS.items():
             print(f"{name:8} {description}")
         return 0
+    if args.experiment == "profile":
+        return _run_profile(args)
     runner, __ = EXPERIMENTS[args.experiment]
     preset = get_scale(args.scale)
     print(f"running {args.experiment} at scale {preset.name!r}")

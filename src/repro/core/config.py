@@ -73,6 +73,7 @@ class PretrainConfig:
     grad_clip: float = 5.0
     max_batches_per_epoch: int | None = None  # cap for CPU-scale runs
     verbose: bool = False
+    profile: bool = False  # collect op-level stats via repro.nn.profiler
     seed: int = 0
 
     def __post_init__(self):

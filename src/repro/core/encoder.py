@@ -87,9 +87,9 @@ class TimeDRLEncoder(nn.Module):
             raise ValueError(
                 f"token width {x_patched.shape[2]} != configured C*P = {self.config.token_dim}"
             )
-        # Eq. 2: prepend the [CLS] token.
-        cls_tokens = self.cls_token.reshape(1, 1, -1) * Tensor(
-            np.ones((n, 1, 1), dtype=np.float32))
+        # Eq. 2: prepend the [CLS] token (broadcast across the batch).
+        cls_tokens = self.cls_token.reshape(1, 1, -1).broadcast_to(
+            (n, 1, self.config.token_dim))
         with_cls = nn.concatenate([cls_tokens, x_patched], axis=1)
         # Eq. 3: token encoding + positional encoding + backbone.
         encoded = self.token_encoding(with_cls)

@@ -29,6 +29,7 @@ from ..evaluation import metrics
 from ..evaluation.classification import linear_probe_classification
 from ..evaluation.forecasting import RidgeProbe, collect_forecast_features, ridge_probe_forecasting
 from ..nn import Tensor
+from ..nn import profiler as _profiler
 from .model import TimeDRL
 from .pooling import instance_dim
 
@@ -55,6 +56,7 @@ class ForecastResult:
 
     mse: float
     mae: float
+    profile: dict[str, dict[str, float]] | None = None  # op stats when profiled
 
 
 @dataclass
@@ -64,6 +66,7 @@ class ClassificationResult:
     accuracy: float
     macro_f1: float
     kappa: float
+    profile: dict[str, dict[str, float]] | None = None  # op stats when profiled
 
 
 # Alias kept for API symmetry with the evaluation package.
@@ -151,7 +154,7 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                           label_fraction: float = 1.0, epochs: int = 5,
                           batch_size: int = 32, lr: float = 1e-3,
                           encoder_lr_scale: float = 0.1,
-                          seed: int = 0) -> ForecastResult:
+                          seed: int = 0, profile: bool = False) -> ForecastResult:
     """Fig. 5 'TimeDRL (FT)': encoder + head trained on labelled windows.
 
     The encoder learns at ``lr * encoder_lr_scale`` — the usual fine-tuning
@@ -170,6 +173,8 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                                  lr=lr * encoder_lr_scale, weight_decay=1e-3)
     labelled = _label_subset(len(data.train), label_fraction, rng)
 
+    if profile:
+        _profiler.enable()
     for __ in range(epochs):
         for batch in batch_indices(len(labelled), batch_size, rng):
             indices = labelled[batch]
@@ -196,6 +201,10 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
             nn.clip_grad_norm(params, 5.0)
             optimizer.step()
             encoder_optimizer.step()
+    profile_stats = None
+    if profile:
+        _profiler.disable()
+        profile_stats = _profiler.snapshot()
 
     model.eval()
     preds, truth = [], []
@@ -219,14 +228,16 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
         truth.append(y)
     y_pred = np.concatenate(preds)
     y_true = np.concatenate(truth)
-    return ForecastResult(mse=metrics.mse(y_true, y_pred), mae=metrics.mae(y_true, y_pred))
+    return ForecastResult(mse=metrics.mse(y_true, y_pred), mae=metrics.mae(y_true, y_pred),
+                          profile=profile_stats)
 
 
 def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                              label_fraction: float = 1.0, epochs: int = 10,
                              batch_size: int = 32, lr: float = 1e-3,
                              encoder_lr_scale: float = 0.1,
-                             seed: int = 0) -> ClassificationResult:
+                             seed: int = 0, profile: bool = False
+                             ) -> ClassificationResult:
     """Fig. 5 classification fine-tuning; see :func:`fine_tune_forecasting`."""
     rng = np.random.default_rng(seed)
     config = model.config
@@ -241,6 +252,8 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
 
     from .pooling import pool_instance
 
+    if profile:
+        _profiler.enable()
     for __ in range(epochs):
         for batch in batch_indices(len(labelled), batch_size, rng):
             indices = labelled[batch]
@@ -256,6 +269,10 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
             nn.clip_grad_norm(params, 5.0)
             optimizer.step()
             encoder_optimizer.step()
+    profile_stats = None
+    if profile:
+        _profiler.disable()
+        profile_stats = _profiler.snapshot()
 
     model.eval()
     logit_chunks = []
@@ -270,4 +287,4 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
     predictions = np.concatenate(logit_chunks).argmax(axis=1)
     report = metrics.classification_report(data.y_test, predictions)
     return ClassificationResult(accuracy=report["ACC"], macro_f1=report["MF1"],
-                                kappa=report["kappa"])
+                                kappa=report["kappa"], profile=profile_stats)

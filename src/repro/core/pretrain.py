@@ -16,6 +16,8 @@ import numpy as np
 from .. import nn
 from ..data.datasets import ForecastingWindows
 from ..data.loader import batch_indices
+from ..nn import profiler
+from ..utils.training import format_profile
 from .config import PretrainConfig, TimeDRLConfig
 from .model import TimeDRL
 
@@ -29,6 +31,7 @@ class PretrainResult:
     model: TimeDRL
     history: list[dict[str, float]] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
+    profile: dict[str, dict[str, float]] | None = None  # op stats when profiled
 
     @property
     def final_loss(self) -> float:
@@ -78,6 +81,8 @@ def pretrain(model_config: TimeDRLConfig, data,
                          weight_decay=train_config.weight_decay)
     rng = np.random.default_rng(train_config.seed)
     history: list[dict[str, float]] = []
+    if train_config.profile:
+        profiler.enable()
 
     start = time.perf_counter()
     for epoch in range(train_config.epochs):
@@ -105,5 +110,13 @@ def pretrain(model_config: TimeDRLConfig, data,
                   f"P={epoch_stats['predictive']:.4f} "
                   f"C={epoch_stats['contrastive']:.4f}")
     elapsed = time.perf_counter() - start
+    profile = None
+    if train_config.profile:
+        profiler.disable()
+        profile = profiler.snapshot()
+        if train_config.verbose:
+            print("[pretrain] op profile:")
+            print(format_profile(profile, limit=20))
     model.eval()
-    return PretrainResult(model=model, history=history, wall_clock_seconds=elapsed)
+    return PretrainResult(model=model, history=history, wall_clock_seconds=elapsed,
+                          profile=profile)

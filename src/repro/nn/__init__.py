@@ -8,7 +8,9 @@ optimizers.  Everything is seeded through explicit
 """
 
 from . import functional
+from . import profiler
 from .attention import MultiHeadAttention, causal_mask
+from .functional import fused_enabled, use_fused
 from .conv import (
     CausalConv1d,
     Conv1d,
@@ -72,7 +74,7 @@ from .transformer import (
 )
 
 __all__ = [
-    "functional",
+    "functional", "profiler", "use_fused", "fused_enabled",
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
     "concatenate", "stack", "where", "maximum", "minimum",
     "Module", "ModuleList", "Parameter", "Sequential",

@@ -44,6 +44,7 @@ class MultiHeadAttention(Module):
         self.d_model = d_model
         self.num_heads = num_heads
         self.head_dim = d_model // num_heads
+        self.scale = float(np.sqrt(self.head_dim))
         self.q_proj = Linear(d_model, d_model, rng=rng)
         self.k_proj = Linear(d_model, d_model, rng=rng)
         self.v_proj = Linear(d_model, d_model, rng=rng)
@@ -60,12 +61,17 @@ class MultiHeadAttention(Module):
         k = self._split_heads(self.k_proj(x), n, t)
         v = self._split_heads(self.v_proj(x), n, t)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
-        if attn_mask is not None:
-            scores = scores + Tensor(attn_mask[None, None, :, :])
-        probs = F.softmax(scores, axis=-1)
-        probs = self.attn_dropout(probs)
-        context = probs @ v  # (N, H, T, head_dim)
+        mask = Tensor(attn_mask[None, None, :, :]) if attn_mask is not None else None
+        context = F.scaled_dot_product_attention(
+            q,
+            k,
+            v,
+            scale=self.scale,
+            mask=mask,
+            dropout_p=self.attn_dropout.p,
+            rng=self.attn_dropout.rng,
+            training=self.attn_dropout.training,
+        )  # (N, H, T, head_dim)
         merged = context.transpose(0, 2, 1, 3).reshape(n, t, self.d_model)
         return self.out_proj(merged)
 

@@ -82,10 +82,7 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        normed = (x - mean) / (var + self.eps).sqrt()
-        return normed * self.weight + self.bias
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
 
 class BatchNorm1d(Module):

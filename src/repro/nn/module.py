@@ -11,6 +11,7 @@ from typing import Iterator
 
 import numpy as np
 
+from . import profiler as _prof
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
@@ -144,6 +145,12 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if _prof._ACTIVE:
+            _prof._profiler.push(type(self).__name__)
+            try:
+                return self.forward(*args, **kwargs)
+            finally:
+                _prof._profiler.pop()
         return self.forward(*args, **kwargs)
 
 

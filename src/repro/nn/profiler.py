@@ -1,0 +1,218 @@
+"""Opt-in op-level profiler for the ``repro.nn`` engine.
+
+Records per-op call counts, wall-time and allocated bytes.  The profiler is
+a *strict no-op* unless explicitly enabled: every instrumentation site in
+the engine guards on the module-level ``_ACTIVE`` flag (a single attribute
+read), no scope objects are pushed, no clocks are read, and no graph nodes
+are added.  ``tests/nn/test_profiler.py`` locks this property in.
+
+Two recording styles are supported:
+
+* :func:`record` — attribute a completed measurement to an op name
+  (used by fused kernels, which time their own NumPy work);
+* :class:`scope` — a context manager for nested regions (used by
+  ``Module.__call__``); nested time is attributed to the child *and* to the
+  parent's total, but subtracted from the parent's *self* time, so a
+  profile never double-counts.
+
+Typical usage::
+
+    from repro.nn import profiler
+
+    with profiler.profile() as prof:
+        loss = model.pretraining_losses(x)["total"]
+        loss.backward()
+    print(prof.format_table())
+
+or through the training loops (``PretrainConfig(profile=True)``) and the
+``repro profile`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+__all__ = [
+    "OpStats",
+    "Profiler",
+    "enable",
+    "disable",
+    "is_active",
+    "reset",
+    "record",
+    "scope",
+    "profile",
+    "snapshot",
+    "format_table",
+    "get",
+]
+
+# Module-level fast flag checked by every instrumentation site.  Reading a
+# module attribute is the cheapest guard available without code generation.
+_ACTIVE = False
+
+# Clock indirection so tests can assert the disabled profiler never reads
+# the clock (monkeypatch ``_now`` with a raising function).
+_now = time.perf_counter
+
+
+class OpStats:
+    """Aggregated statistics for one op name."""
+
+    __slots__ = ("count", "total_s", "self_s", "bytes")
+
+    def __init__(self):
+        self.count = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.bytes = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "bytes": self.bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (f"OpStats(count={self.count}, total_s={self.total_s:.6f}, "
+                f"self_s={self.self_s:.6f}, bytes={self.bytes})")
+
+
+class Profiler:
+    """Accumulates :class:`OpStats` per op name with a scope stack."""
+
+    def __init__(self):
+        self.stats: dict[str, OpStats] = {}
+        # Each frame: [name, start_time, accumulated_child_seconds]
+        self._stack: list[list] = []
+
+    # -- recording ------------------------------------------------------
+    def _get(self, name: str) -> OpStats:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStats()
+        return stat
+
+    def record(self, name: str, seconds: float, nbytes: int = 0) -> None:
+        """Attribute a completed measurement to ``name``.
+
+        The time also counts as *child* time of the innermost open scope,
+        so a fused kernel recorded inside ``Module.__call__`` is not
+        double-counted in the module's self time.
+        """
+        stat = self._get(name)
+        stat.count += 1
+        stat.total_s += seconds
+        stat.self_s += seconds
+        stat.bytes += nbytes
+        if self._stack:
+            self._stack[-1][2] += seconds
+
+    def push(self, name: str) -> None:
+        self._stack.append([name, _now(), 0.0])
+
+    def pop(self, nbytes: int = 0) -> None:
+        name, start, child = self._stack.pop()
+        elapsed = _now() - start
+        stat = self._get(name)
+        stat.count += 1
+        stat.total_s += elapsed
+        stat.self_s += elapsed - child
+        stat.bytes += nbytes
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict copy of the current statistics (JSON-serialisable)."""
+        return {name: stat.as_dict() for name, stat in self.stats.items()}
+
+    def format_table(self, sort_by: str = "total_s", limit: int | None = None) -> str:
+        from ..utils.training import format_profile  # local import: no cycle at load
+
+        return format_profile(self.snapshot(), sort_by=sort_by, limit=limit)
+
+    def reset(self) -> None:
+        self.stats.clear()
+        self._stack.clear()
+
+
+_profiler = Profiler()
+
+
+# ----------------------------------------------------------------------
+# Module-level API (operates on the singleton)
+# ----------------------------------------------------------------------
+def is_active() -> bool:
+    return _ACTIVE
+
+
+def enable(reset: bool = True) -> Profiler:
+    """Turn instrumentation on (optionally clearing previous stats)."""
+    global _ACTIVE
+    if reset:
+        _profiler.reset()
+    _ACTIVE = True
+    return _profiler
+
+
+def disable() -> Profiler:
+    global _ACTIVE
+    _ACTIVE = False
+    return _profiler
+
+
+def reset() -> None:
+    _profiler.reset()
+
+
+def record(name: str, seconds: float, nbytes: int = 0) -> None:
+    if _ACTIVE:
+        _profiler.record(name, seconds, nbytes)
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    return _profiler.snapshot()
+
+
+def get(name: str) -> OpStats | None:
+    return _profiler.stats.get(name)
+
+
+class scope:
+    """Timed, nestable region; free when the profiler is disabled.
+
+    The activation state is latched at ``__enter__`` so toggling the
+    profiler inside a scope cannot unbalance the stack.
+    """
+
+    __slots__ = ("name", "_entered")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._entered = False
+
+    def __enter__(self) -> "scope":
+        if _ACTIVE:
+            self._entered = True
+            _profiler.push(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._entered:
+            self._entered = False
+            _profiler.pop()
+        return False
+
+
+@contextlib.contextmanager
+def profile(reset: bool = True):
+    """``with profiler.profile() as prof:`` — enable for the block."""
+    prof = enable(reset=reset)
+    try:
+        yield prof
+    finally:
+        disable()

@@ -11,17 +11,28 @@ Design notes
   the familiar PyTorch convention (``zero_grad`` between steps).
 * All binary operations support NumPy broadcasting; the backward pass
   un-broadcasts gradients with :func:`_unbroadcast`.
-* A module-level switch (:func:`no_grad`) disables graph construction for
-  inference-only code paths.
+* A module-level depth counter (:class:`no_grad`) disables graph
+  construction for inference-only code paths.  Ops taken under ``no_grad``
+  (or whose parents all have ``requires_grad=False``) go through a fast
+  constructor that skips every piece of graph bookkeeping.
+* Backward closures hand freshly-allocated gradient arrays to
+  :meth:`Tensor._accumulate` with ``owned=True`` so the array itself becomes
+  the gradient buffer — no defensive copy.  Arrays that may alias the
+  incoming output gradient (pass-through grads in ``+``/``-``, reshapes,
+  transposes, slices) are handed over with ``owned=False`` and copied once.
 * ``float32`` is the default dtype; gradient-check tests use ``float64``.
+  Scalar constants enter ops as *weak* Python scalars wherever possible so
+  NumPy 2's promotion rules (NEP 50) cannot silently upcast a ``float32``
+  pipeline to ``float64``.
 """
 
 from __future__ import annotations
 
-import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from . import profiler as _prof
 
 __all__ = [
     "Tensor",
@@ -37,37 +48,61 @@ __all__ = [
 
 DEFAULT_DTYPE = np.float32
 
-_GRAD_ENABLED = True
+# Depth of nested no_grad() contexts.  Grad is enabled iff the depth is 0.
+# A counter (rather than a saved boolean) makes interleaved or out-of-order
+# exits safe: suspended generators that entered no_grad() and are closed
+# late can never leave gradients globally disabled (or re-enabled while
+# another no_grad() is still active).
+_NO_GRAD_DEPTH = 0
 
 
-@contextlib.contextmanager
-def no_grad():
+class no_grad:
     """Context manager that disables autograd graph construction.
+
+    Re-entrant and exception-safe.  Each ``with no_grad():`` increments a
+    module-level depth counter on entry and decrements it on exit, so any
+    interleaving of entries and exits — including generators suspended
+    inside the context and finalised out of order — restores the correct
+    global state.
 
     Example
     -------
     >>> with no_grad():
     ...     y = model(x)  # no backward graph is recorded
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
-    try:
-        yield
-    finally:
-        _GRAD_ENABLED = previous
+
+    __slots__ = ("_entered",)
+
+    def __init__(self):
+        self._entered = 0
+
+    def __enter__(self) -> "no_grad":
+        global _NO_GRAD_DEPTH
+        _NO_GRAD_DEPTH += 1
+        self._entered += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _NO_GRAD_DEPTH
+        if self._entered > 0:
+            self._entered -= 1
+            if _NO_GRAD_DEPTH > 0:
+                _NO_GRAD_DEPTH -= 1
+        return False
 
 
 def is_grad_enabled() -> bool:
     """Return whether autograd graph construction is currently enabled."""
-    return _GRAD_ENABLED
+    return _NO_GRAD_DEPTH == 0
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so that it has ``shape``, undoing NumPy broadcasting.
 
     Broadcasting can (a) prepend new axes and (b) stretch axes of size one.
-    Both effects are inverted by summing.
+    Both effects are inverted by summing.  When no reduction is needed the
+    input array is returned as-is, so callers can detect pass-through
+    gradients with an identity check (see ``owned`` in ``_accumulate``).
     """
     if grad.shape == shape:
         return grad
@@ -89,6 +124,42 @@ def as_tensor(value, dtype=None) -> "Tensor":
     if isinstance(value, Tensor):
         return value
     return Tensor(value, dtype=dtype)
+
+
+def _result_tensor(data) -> "Tensor":
+    """Fast constructor for op results that carry no graph state.
+
+    Skips all of ``Tensor.__init__`` (dtype policy, flag plumbing): the
+    payload is already an ndarray produced by a NumPy op on validated
+    inputs.  This is the ``no_grad`` fast path.
+    """
+    out = Tensor.__new__(Tensor)
+    out.data = data if type(data) is np.ndarray else np.asarray(data)
+    out.requires_grad = False
+    out.grad = None
+    out._backward = None
+    out._prev = ()
+    out.name = ""
+    return out
+
+
+def _make_node(data, parents: tuple) -> "Tensor":
+    """Create an op-result tensor, recording ``parents`` when grad is on.
+
+    Callers attach a backward closure iff ``out.requires_grad``.
+    """
+    if not _NO_GRAD_DEPTH:
+        for parent in parents:
+            if parent.requires_grad:
+                out = Tensor.__new__(Tensor)
+                out.data = data if type(data) is np.ndarray else np.asarray(data)
+                out.requires_grad = True
+                out.grad = None
+                out._backward = None
+                out._prev = parents
+                out.name = ""
+                return out
+    return _result_tensor(data)
 
 
 class Tensor:
@@ -129,7 +200,7 @@ class Tensor:
         elif array.dtype.kind not in "iub":
             array = array.astype(DEFAULT_DTYPE, copy=False)
         self.data: np.ndarray = array
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and not _NO_GRAD_DEPTH
         self.grad: np.ndarray | None = None
         self._backward = _backward
         self._prev = tuple(_prev) if self.requires_grad or _backward else ()
@@ -177,7 +248,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad.astype(self.data.dtype))
+                self._accumulate(grad.astype(self.data.dtype), owned=True)
 
             out._backward = _backward
         return out
@@ -185,18 +256,35 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph construction helpers
     # ------------------------------------------------------------------
-    def _make(self, data: np.ndarray, parents: Sequence["Tensor"]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        return Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+    def _make(self, data, parents: tuple) -> "Tensor":
+        return _make_node(data, parents)
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into ``self.grad`` (allocating on first use)."""
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Accumulate ``grad`` into ``self.grad``.
+
+        ``owned=True`` asserts that ``grad`` is a freshly-allocated array
+        (or a view of one) that no other tensor references: it is adopted
+        directly as the gradient buffer instead of being copied.  This is
+        the buffer-reuse fast path of the backward pass.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            if owned and type(grad) is np.ndarray and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
+
+    def _accumulate_unbroadcast(self, grad: np.ndarray) -> None:
+        """Un-broadcast then accumulate a possibly pass-through gradient.
+
+        ``_unbroadcast`` allocates a fresh array iff it reduces, so the
+        result is owned exactly when it is not the input array.
+        """
+        reduced = _unbroadcast(grad, self.data.shape)
+        self._accumulate(reduced, owned=reduced is not grad)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
@@ -229,6 +317,10 @@ class Tensor:
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=self.data.dtype)
 
+        profiled = _prof._ACTIVE
+        if profiled:
+            _prof._profiler.push("Tensor.backward")
+
         topo: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -245,10 +337,14 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate(grad)
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        try:
+            self._accumulate(grad)
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+        finally:
+            if profiled:
+                _prof._profiler.pop()
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -259,8 +355,8 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(_unbroadcast(grad, self.shape))
-                other._accumulate(_unbroadcast(grad, other.shape))
+                self._accumulate_unbroadcast(grad)
+                other._accumulate_unbroadcast(grad)
 
             out._backward = _backward
         return out
@@ -273,8 +369,8 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(_unbroadcast(grad, self.shape))
-                other._accumulate(_unbroadcast(-grad, other.shape))
+                self._accumulate_unbroadcast(grad)
+                other._accumulate(_unbroadcast(-grad, other.shape), owned=True)
 
             out._backward = _backward
         return out
@@ -288,8 +384,8 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                self._accumulate(_unbroadcast(grad * other.data, self.shape), owned=True)
+                other._accumulate(_unbroadcast(grad * self.data, other.shape), owned=True)
 
             out._backward = _backward
         return out
@@ -302,9 +398,10 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate(_unbroadcast(grad / other.data, self.shape), owned=True)
                 other._accumulate(
-                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape),
+                    owned=True,
                 )
 
             out._backward = _backward
@@ -318,7 +415,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(-grad)
+                self._accumulate(-grad, owned=True)
 
             out._backward = _backward
         return out
@@ -330,7 +427,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(grad * exponent * self.data ** (exponent - 1), owned=True)
 
             out._backward = _backward
         return out
@@ -342,28 +439,39 @@ class Tensor:
         batch dimensions), 1-D (.) 1-D dot products, 2-D @ 1-D, and 1-D @ 2-D.
         """
         other = as_tensor(other)
-        out = self._make(np.matmul(self.data, other.data), (self, other))
+        if _prof._ACTIVE:
+            t0 = _prof._now()
+            data = np.matmul(self.data, other.data)
+            _prof._profiler.record("Tensor.matmul", _prof._now() - t0,
+                                   getattr(data, "nbytes", 0))
+        else:
+            data = np.matmul(self.data, other.data)
+        out = self._make(data, (self, other))
         if out.requires_grad:
             a, b = self.data, other.data
 
             def _backward(grad):
+                if _prof._ACTIVE:
+                    t0 = _prof._now()
                 if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
-                    self._accumulate(grad * b)
-                    other._accumulate(grad * a)
+                    self._accumulate(grad * b, owned=True)
+                    other._accumulate(grad * a, owned=True)
                 elif a.ndim == 1:  # (k,) @ (k, n) -> (n,)
-                    self._accumulate(b @ grad)
-                    other._accumulate(np.outer(a, grad))
+                    self._accumulate(b @ grad, owned=True)
+                    other._accumulate(np.outer(a, grad), owned=True)
                 elif b.ndim == 1:  # (..., m, k) @ (k,) -> (..., m)
                     self._accumulate(
-                        _unbroadcast(grad[..., None] * b, self.shape)
+                        _unbroadcast(grad[..., None] * b, self.shape), owned=True
                     )
                     grad_b = (a * grad[..., None]).reshape(-1, b.shape[0]).sum(axis=0)
-                    other._accumulate(grad_b)
+                    other._accumulate(grad_b, owned=True)
                 else:  # (..., m, k) @ (..., k, n) -> (..., m, n)
                     grad_a = np.matmul(grad, np.swapaxes(b, -1, -2))
                     grad_b = np.matmul(np.swapaxes(a, -1, -2), grad)
-                    self._accumulate(_unbroadcast(grad_a, self.shape))
-                    other._accumulate(_unbroadcast(grad_b, other.shape))
+                    self._accumulate(_unbroadcast(grad_a, self.shape), owned=True)
+                    other._accumulate(_unbroadcast(grad_b, other.shape), owned=True)
+                if _prof._ACTIVE:
+                    _prof._profiler.record("Tensor.matmul.backward", _prof._now() - t0)
 
             out._backward = _backward
         return out
@@ -435,6 +543,18 @@ class Tensor:
             out._backward = _backward
         return out
 
+    def broadcast_to(self, shape) -> "Tensor":
+        """Differentiable ``numpy.broadcast_to`` (read-only view forward)."""
+        shape = tuple(shape)
+        out = self._make(np.broadcast_to(self.data, shape), (self,))
+        if out.requires_grad:
+
+            def _backward(grad):
+                self._accumulate_unbroadcast(grad)
+
+            out._backward = _backward
+        return out
+
     def __getitem__(self, index) -> "Tensor":
         if isinstance(index, Tensor):
             index = index.data
@@ -444,7 +564,7 @@ class Tensor:
             def _backward(grad):
                 full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
-                self._accumulate(full)
+                self._accumulate(full, owned=True)
 
             out._backward = _backward
         return out
@@ -478,7 +598,7 @@ class Tensor:
                     axes = tuple(a % self.ndim for a in axes)
                     for a in sorted(axes):
                         expanded = np.expand_dims(expanded, a)
-                self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+                self._accumulate(np.broadcast_to(expanded, self.shape))
 
             out._backward = _backward
         return out
@@ -489,7 +609,10 @@ class Tensor:
         else:
             axes = (axis,) if isinstance(axis, int) else tuple(axis)
             count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
-        return self.sum(axis=axis, keepdims=keepdims) / count
+        # float(count): a weak Python scalar, so a float32 pipeline is not
+        # upcast to float64 by NumPy 2 promotion (an int tensor divisor
+        # would be int64 and promote).
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Population variance (ddof=0), differentiable."""
@@ -510,7 +633,7 @@ class Tensor:
                     expanded_grad = np.full(self.shape, grad)
                 mask = self.data == expanded_out
                 counts = mask.sum(axis=axis, keepdims=True)
-                self._accumulate(mask * expanded_grad / counts)
+                self._accumulate(mask * expanded_grad / counts, owned=True)
 
             out._backward = _backward
         return out
@@ -527,7 +650,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, owned=True)
 
             out._backward = _backward
         return out
@@ -537,7 +660,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, owned=True)
 
             out._backward = _backward
         return out
@@ -548,7 +671,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * 0.5 / out_data)
+                self._accumulate(grad * 0.5 / out_data, owned=True)
 
             out._backward = _backward
         return out
@@ -558,7 +681,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * np.sign(self.data))
+                self._accumulate(grad * np.sign(self.data), owned=True)
 
             out._backward = _backward
         return out
@@ -569,7 +692,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate(grad * (1.0 - out_data**2), owned=True)
 
             out._backward = _backward
         return out
@@ -580,7 +703,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
             out._backward = _backward
         return out
@@ -591,7 +714,7 @@ class Tensor:
         if out.requires_grad:
 
             def _backward(grad):
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
             out._backward = _backward
         return out
@@ -601,10 +724,12 @@ class Tensor:
 
         out = self._make(_erf(self.data), (self,))
         if out.requires_grad:
-            coeff = 2.0 / np.sqrt(np.pi)
+            # float(): keep the coefficient a weak scalar so float32 inputs
+            # do not promote the gradient chain to float64 under NEP 50.
+            coeff = float(2.0 / np.sqrt(np.pi))
 
             def _backward(grad):
-                self._accumulate(grad * coeff * np.exp(-self.data**2))
+                self._accumulate(grad * coeff * np.exp(-self.data**2), owned=True)
 
             out._backward = _backward
         return out
@@ -617,9 +742,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``numpy.concatenate`` over a sequence of tensors."""
     tensors = [as_tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _prev=tensors if requires else ())
-    if requires:
+    out = _make_node(data, tuple(tensors))
+    if out.requires_grad:
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
 
@@ -637,9 +761,8 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable ``numpy.stack``."""
     tensors = [as_tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _prev=tensors if requires else ())
-    if requires:
+    out = _make_node(data, tuple(tensors))
+    if out.requires_grad:
 
         def _backward(grad):
             slabs = np.moveaxis(grad, axis, 0)
@@ -655,13 +778,12 @@ def where(condition, a, b) -> Tensor:
     condition = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
     a, b = as_tensor(a), as_tensor(b)
     data = np.where(condition, a.data, b.data)
-    requires = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
-    out = Tensor(data, requires_grad=requires, _prev=(a, b) if requires else ())
-    if requires:
+    out = _make_node(data, (a, b))
+    if out.requires_grad:
 
         def _backward(grad):
-            a._accumulate(_unbroadcast(grad * condition, a.shape))
-            b._accumulate(_unbroadcast(grad * (~condition), b.shape))
+            a._accumulate(_unbroadcast(grad * condition, a.shape), owned=True)
+            b._accumulate(_unbroadcast(grad * (~condition), b.shape), owned=True)
 
         out._backward = _backward
     return out

@@ -8,7 +8,8 @@ import time
 
 import numpy as np
 
-__all__ = ["EarlyStopping", "MetricTracker", "Timer", "set_global_seed"]
+__all__ = ["EarlyStopping", "MetricTracker", "Timer", "set_global_seed",
+           "format_profile"]
 
 
 def set_global_seed(seed: int) -> np.random.Generator:
@@ -19,6 +20,32 @@ def set_global_seed(seed: int) -> np.random.Generator:
     """
     np.random.seed(seed)
     return np.random.default_rng(seed)
+
+
+def format_profile(snapshot: dict[str, dict[str, float]],
+                   sort_by: str = "total_s", limit: int | None = None) -> str:
+    """Render a :func:`repro.nn.profiler.snapshot` as an aligned text table.
+
+    ``sort_by`` is one of ``count``/``total_s``/``self_s``/``bytes``;
+    ``limit`` keeps only the top rows after sorting.
+    """
+    if sort_by not in ("count", "total_s", "self_s", "bytes"):
+        raise ValueError(f"unknown sort key {sort_by!r}")
+    rows = sorted(snapshot.items(), key=lambda kv: kv[1][sort_by], reverse=True)
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return "(no ops recorded)"
+    name_width = max(len("op"), *(len(name) for name, __ in rows))
+    header = (f"{'op':<{name_width}}  {'count':>8}  {'total_ms':>10}  "
+              f"{'self_ms':>10}  {'alloc_mb':>9}")
+    lines = [header, "-" * len(header)]
+    for name, stat in rows:
+        lines.append(
+            f"{name:<{name_width}}  {int(stat['count']):>8}  "
+            f"{stat['total_s'] * 1e3:>10.2f}  {stat['self_s'] * 1e3:>10.2f}  "
+            f"{stat['bytes'] / 1e6:>9.1f}")
+    return "\n".join(lines)
 
 
 class EarlyStopping:

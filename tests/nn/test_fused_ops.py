@@ -1,0 +1,191 @@
+"""Correctness battery for the fused autograd kernels.
+
+Every fused kernel is checked two ways:
+
+* against float64 central finite differences (``tests/helpers.py``);
+* against the reference (unfused) composition — which must match
+  **bit-for-bit** on forward data and on every input gradient, because the
+  fused backward replays the reference chain's exact NumPy op sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, fused_enabled, use_fused
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadAttention, causal_mask
+
+from ..helpers import check_gradients
+
+
+def _sdpa(ts, scale=2.0, mask=None, dropout_p=0.0, rng=None, training=False):
+    return F.scaled_dot_product_attention(
+        ts[0], ts[1], ts[2], scale=scale, mask=mask,
+        dropout_p=dropout_p, rng=rng, training=training)
+
+
+class TestDispatchToggle:
+    def test_fused_by_default(self):
+        assert fused_enabled()
+
+    def test_toggle_restores_on_exit(self):
+        with use_fused(False):
+            assert not fused_enabled()
+            with use_fused(True):
+                assert fused_enabled()
+            assert not fused_enabled()
+        assert fused_enabled()
+
+    def test_toggle_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_fused(False):
+                raise RuntimeError("boom")
+        assert fused_enabled()
+
+
+class TestFiniteDifferences:
+    """Float64 central-difference gradient checks of the fused kernels."""
+
+    def test_softmax(self):
+        with use_fused(True):
+            check_gradients(lambda ts: (F.softmax(ts[0], axis=-1) ** 2).sum(), [(3, 5)])
+
+    def test_softmax_axis0(self):
+        with use_fused(True):
+            check_gradients(lambda ts: (F.softmax(ts[0], axis=0) ** 2).sum(), [(4, 3)])
+
+    def test_log_softmax(self):
+        with use_fused(True):
+            check_gradients(
+                lambda ts: (F.log_softmax(ts[0], axis=-1)
+                            * np.arange(15.0).reshape(3, 5)).sum(),
+                [(3, 5)])
+
+    def test_gelu(self):
+        with use_fused(True):
+            check_gradients(lambda ts: F.gelu(ts[0]).sum(), [(4, 4)])
+
+    def test_layer_norm(self):
+        with use_fused(True):
+            check_gradients(
+                lambda ts: (F.layer_norm(ts[0], ts[1], ts[2]) ** 2).sum(),
+                [(2, 3, 6), (6,), (6,)])
+
+    def test_sdpa(self):
+        with use_fused(True):
+            check_gradients(lambda ts: (_sdpa(ts) ** 2).sum(), [(1, 2, 4, 3)] * 3)
+
+    def test_sdpa_with_mask(self):
+        # A moderate additive mask keeps finite differences well-conditioned.
+        mask = np.triu(np.full((4, 4), -1.5, dtype=np.float64), k=1)[None, None]
+        with use_fused(True):
+            check_gradients(lambda ts: (_sdpa(ts, mask=mask) ** 2).sum(),
+                            [(1, 2, 4, 3)] * 3)
+
+
+def _run_both_paths(build, shapes, dtype, seed=0):
+    """Run ``build`` under fused and reference dispatch on identical inputs;
+    return (out_fused, grads_fused), (out_ref, grads_ref)."""
+    results = []
+    for fused in (True, False):
+        rng = np.random.default_rng(seed)
+        datas = [rng.standard_normal(s).astype(dtype) for s in shapes]
+        with use_fused(fused):
+            ts = [Tensor(d, requires_grad=True, dtype=dtype) for d in datas]
+            out = build(ts)
+            (out * out).sum().backward()
+        results.append((out.data, [t.grad for t in ts]))
+    return results
+
+
+KERNELS = {
+    "softmax": (lambda ts: F.softmax(ts[0], axis=-1), [(4, 9)]),
+    "softmax_axis0": (lambda ts: F.softmax(ts[0], axis=0), [(4, 9)]),
+    "log_softmax": (lambda ts: F.log_softmax(ts[0], axis=-1), [(4, 9)]),
+    "gelu": (lambda ts: F.gelu(ts[0]), [(5, 7)]),
+    "layer_norm": (lambda ts: F.layer_norm(ts[0], ts[1], ts[2]),
+                   [(3, 4, 8), (8,), (8,)]),
+    "sdpa": (_sdpa, [(2, 3, 6, 4)] * 3),
+    "sdpa_masked": (lambda ts: _sdpa(ts, mask=causal_mask(6)[None, None]),
+                    [(2, 3, 6, 4)] * 3),
+}
+
+
+class TestFusedMatchesReference:
+    """Fused and unfused paths must agree bit-for-bit (≫ 1e-6 relative)."""
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_bitwise_identical(self, name, dtype):
+        build, shapes = KERNELS[name]
+        (out_f, grads_f), (out_r, grads_r) = _run_both_paths(build, shapes, dtype)
+        assert out_f.dtype == out_r.dtype == dtype
+        assert np.array_equal(out_f, out_r), f"{name}: forward differs"
+        for i, (gf, gr) in enumerate(zip(grads_f, grads_r)):
+            assert np.array_equal(gf, gr), f"{name}: grad of input {i} differs"
+
+    def test_sdpa_dropout_bitwise_identical(self):
+        """With dropout active, both paths must consume the RNG stream
+        identically and produce identical masks, outputs, and gradients."""
+        results = []
+        for fused in (True, False):
+            data_rng = np.random.default_rng(0)
+            datas = [data_rng.standard_normal((2, 3, 6, 4)).astype(np.float32)
+                     for _ in range(3)]
+            mask_rng = np.random.default_rng(42)
+            with use_fused(fused):
+                ts = [Tensor(d, requires_grad=True) for d in datas]
+                out = _sdpa(ts, dropout_p=0.25, rng=mask_rng, training=True)
+                (out * out).sum().backward()
+            results.append((out.data, [t.grad for t in ts]))
+        (out_f, grads_f), (out_r, grads_r) = results
+        assert np.array_equal(out_f, out_r)
+        for gf, gr in zip(grads_f, grads_r):
+            assert np.array_equal(gf, gr)
+
+    def test_multi_head_attention_module_bitwise_identical(self):
+        """The full MHA module (projections + fused SDPA core) agrees."""
+        results = []
+        for fused in (True, False):
+            with use_fused(fused):
+                mha = MultiHeadAttention(16, 4, dropout=0.0,
+                                         rng=np.random.default_rng(3))
+                x = Tensor(np.random.default_rng(5)
+                           .standard_normal((2, 6, 16)).astype(np.float32),
+                           requires_grad=True)
+                out = mha(x)
+                (out * out).sum().backward()
+                results.append((out.data, x.grad,
+                                {k: p.grad for k, p in mha.named_parameters()}))
+        (out_f, gx_f, gp_f), (out_r, gx_r, gp_r) = results
+        assert np.array_equal(out_f, out_r)
+        assert np.array_equal(gx_f, gx_r)
+        assert gp_f.keys() == gp_r.keys()
+        for key in gp_f:
+            assert np.array_equal(gp_f[key], gp_r[key]), key
+
+    def test_fused_dropout_validates_probability(self):
+        ts = [Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+              for _ in range(3)]
+        with use_fused(True), pytest.raises(ValueError):
+            _sdpa(ts, dropout_p=1.0, rng=np.random.default_rng(0), training=True)
+
+
+class TestFusedGraphShape:
+    def test_fused_ops_are_single_nodes(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)).astype(np.float32),
+                   requires_grad=True)
+        with use_fused(True):
+            out = F.softmax(x, axis=-1)
+        assert out._prev == (x,)
+
+    def test_no_graph_under_no_grad(self):
+        from repro.nn import no_grad
+
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 5)).astype(np.float32),
+                   requires_grad=True)
+        with use_fused(True), no_grad():
+            out = F.softmax(x, axis=-1)
+        assert out._prev == ()
+        assert out._backward is None
+        assert not out.requires_grad

@@ -4,6 +4,9 @@ import numpy as np
 import pytest
 
 from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import _unbroadcast
+
+from ..helpers import check_gradients
 
 
 class TestConversionAndIntrospection:
@@ -102,6 +105,188 @@ class TestGradientEdgeCases:
         out.sum().backward()
         expected = np.tile(np.arange(4.0), (3, 1))
         np.testing.assert_allclose(t.grad, expected)
+
+
+# Broadcast pairs: (source shape, broadcast target shape).
+_BROADCAST_PAIRS = [
+    ((), (3,)),
+    ((1,), (5,)),
+    ((4,), (3, 4)),
+    ((3, 1), (3, 4)),
+    ((1, 4), (3, 4)),
+    ((1, 1), (3, 4)),
+    ((2, 1, 4), (2, 3, 4)),
+    ((1, 3, 1), (2, 3, 4)),
+    ((3, 4), (2, 3, 4)),
+    ((3, 4), (3, 4)),  # identity: no reduction at all
+]
+
+
+class TestUnbroadcast:
+    """`_unbroadcast` is the adjoint of `np.broadcast_to`."""
+
+    @pytest.mark.parametrize("src_shape,dst_shape", _BROADCAST_PAIRS)
+    def test_adjoint_property(self, src_shape, dst_shape):
+        """<g, broadcast(x)> == <_unbroadcast(g, x.shape), x> for all g, x —
+        the defining property of a correct broadcast backward."""
+        rng = np.random.default_rng(hash((src_shape, dst_shape)) % 2**32)
+        x = rng.standard_normal(src_shape)
+        g = rng.standard_normal(dst_shape)
+        lhs = float((g * np.broadcast_to(x, dst_shape)).sum())
+        rhs = float((_unbroadcast(g, src_shape) * x).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    @pytest.mark.parametrize("src_shape,dst_shape", _BROADCAST_PAIRS)
+    def test_output_shape(self, src_shape, dst_shape):
+        g = np.ones(dst_shape)
+        assert _unbroadcast(g, src_shape).shape == src_shape
+
+    def test_identity_is_passthrough(self):
+        """Same-shape unbroadcast returns the input object — the ownership
+        detection in `_accumulate_unbroadcast` relies on this identity."""
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+    def test_scalar_target(self):
+        g = np.arange(12.0).reshape(3, 4)
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        assert float(out) == pytest.approx(66.0)
+
+    @pytest.mark.parametrize("src_shape,dst_shape",
+                             [(s, d) for s, d in _BROADCAST_PAIRS if s != d])
+    def test_broadcast_to_tensor_grad(self, src_shape, dst_shape):
+        """Tensor.broadcast_to backward equals the `_unbroadcast` adjoint."""
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal(dst_shape)
+        x = Tensor(rng.standard_normal(src_shape), requires_grad=True)
+        (x.broadcast_to(dst_shape) * Tensor(weights)).sum().backward()
+        np.testing.assert_allclose(x.grad, _unbroadcast(weights, src_shape))
+
+
+class TestAliasedAccumulation:
+    """A tensor appearing multiple times in a graph accumulates every
+    contribution — and the grad buffer must never alias caller memory."""
+
+    def test_x_plus_x(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        (x + x).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_x_times_x(self):
+        data = np.array([1.5, -0.5, 2.0])
+        x = Tensor(data.copy(), requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0 * data)
+
+    def test_scaled_branches(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        ((x * 2.0) + (x * 3.0)).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_three_way_alias(self):
+        data = np.array([0.5, -1.0, 2.0])
+        x = Tensor(data.copy(), requires_grad=True)
+        (x * x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 3.0 * data**2, rtol=1e-6)
+
+    def test_aliased_fd_gradcheck(self):
+        check_gradients(lambda ts: ((ts[0] * ts[0]) + ts[0].exp() * ts[0]).sum(),
+                        [(3, 4)])
+
+    def test_grad_does_not_alias_seed_gradient(self):
+        """Pass-through backwards (add) adopt fresh arrays only — the seed
+        gradient the caller handed in must never become the grad buffer."""
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x + x
+        seed = np.full(3, 2.0)
+        y.backward(seed)
+        assert not np.shares_memory(x.grad, seed)
+        np.testing.assert_allclose(x.grad, [4.0, 4.0, 4.0])
+        np.testing.assert_allclose(seed, [2.0, 2.0, 2.0])
+
+    def test_grad_does_not_alias_identity_passthrough_seed(self):
+        """Single-consumer add: the unbroadcast pass-through hands the seed
+        array straight to `_accumulate` — it must be copied, not adopted."""
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x + 1.0
+        seed = np.full(3, 2.0)
+        y.backward(seed)
+        assert not np.shares_memory(x.grad, seed)
+        seed[:] = 99.0
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_grad_does_not_alias_parent_data(self):
+        """Reshape/transpose backwards produce views of upstream buffers;
+        adopting them as grad storage would corrupt later accumulation."""
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.reshape(3, 2).transpose(1, 0)
+        y.sum().backward()
+        assert not np.shares_memory(x.grad, x.data)
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mutating_grad_of_one_alias_is_safe(self):
+        """Two tensors fed the same intermediate must own separate buffers."""
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = Tensor(np.ones(3), requires_grad=True)
+        s = x + y
+        s.sum().backward()
+        assert not np.shares_memory(x.grad, y.grad)
+        x.grad[:] = 7.0
+        np.testing.assert_allclose(y.grad, [1.0, 1.0, 1.0])
+
+
+class TestNoGradSafety:
+    """Regressions for generator/exception safety of `no_grad`."""
+
+    def test_exception_restores_grad_mode(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                assert not is_grad_enabled()
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_contexts(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_reusing_one_instance_nested(self):
+        ctx = no_grad()
+        with ctx:
+            with ctx:
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_interleaved_generator_finalisation(self):
+        """Closing generators out of order must not re-enable gradients
+        while another no_grad context is still live."""
+
+        def gen():
+            with no_grad():
+                yield
+
+        g1, g2 = gen(), gen()
+        next(g1)
+        next(g2)
+        g1.close()  # finalises g1's context while g2's is still open
+        assert not is_grad_enabled()
+        g2.close()
+        assert is_grad_enabled()
+
+    def test_unbalanced_exit_cannot_go_negative(self):
+        """A stray extra __exit__ is ignored instead of corrupting state."""
+        ctx = no_grad()
+        ctx.__enter__()
+        ctx.__exit__(None, None, None)
+        ctx.__exit__(None, None, None)  # spurious second exit
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
 
 
 class TestDtypePolicy:
