@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Lint: forbid bare ``print()`` calls in library code.
+
+Library modules must route user-facing output through
+``repro.telemetry.console_log`` (or a logging sink) so it stays
+filterable and redirectable; only the CLI entry points may print
+directly.  The check is AST-based, not a grep — docstrings and comments
+that merely *mention* ``print(`` (e.g. the profiler's usage example) are
+fine, actual ``print`` call sites are not.
+
+Usage: python scripts/check_print.py [src/repro]
+Exit status 1 if any offending call is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+# CLI surfaces: printing to the terminal is their job.
+ALLOWED = {"cli.py", "__main__.py"}
+
+
+def print_calls(source: str) -> list[int]:
+    """Line numbers of every call to the builtin ``print`` in ``source``."""
+    tree = ast.parse(source)
+    return [node.lineno for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"]
+
+
+def check_tree(root: pathlib.Path) -> list[str]:
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno in print_calls(path.read_text(encoding="utf-8")):
+            violations.append(f"{path}:{lineno}: bare print() in library code"
+                              " (use repro.telemetry.console_log)")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path("src/repro")
+    violations = check_tree(root)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} bare print() call(s) found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

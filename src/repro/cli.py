@@ -6,6 +6,9 @@ Examples::
     python -m repro table5 --scale default --output results/
     python -m repro fig6 --scale smoke
     python -m repro profile --steps 20 --sort-by self_s
+    python -m repro runs list
+    python -m repro runs show 20260806-120301-a1b2c3 --svg losses.svg
+    python -m repro runs diff <run_a> <run_b>
     python -m repro list
 """
 
@@ -29,64 +32,78 @@ from .experiments import (
     stop_gradient_ablation,
     training_time_table,
 )
+from .telemetry import (
+    NULL_RUN,
+    Run,
+    console_log,
+    diff_runs,
+    find_run,
+    list_runs,
+    loss_curve_svg,
+    tail_events,
+)
 
 __all__ = ["main", "build_parser", "EXPERIMENTS"]
 
 _FORECAST_DATASETS = ("ETTh1", "ETTh2", "ETTm1", "ETTm2", "Exchange", "Weather")
 _CLASS_DATASETS = ("FingerMovements", "PenDigits", "HAR", "Epilepsy", "WISDM")
+_DEFAULT_RUN_ROOT = pathlib.Path("results/runs")
 
 
-def _run_table3(args, preset):
+def _run_table3(args, preset, run=NULL_RUN):
     return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
-                             univariate=False, preset=preset, seed=args.seed)
+                             univariate=False, preset=preset, seed=args.seed,
+                             run=run)
 
 
-def _run_table4(args, preset):
+def _run_table4(args, preset, run=NULL_RUN):
     return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
-                             univariate=True, preset=preset, seed=args.seed)
+                             univariate=True, preset=preset, seed=args.seed,
+                             run=run)
 
 
-def _run_table5(args, preset):
+def _run_table5(args, preset, run=NULL_RUN):
     return classification_table(datasets=tuple(args.datasets or _CLASS_DATASETS),
-                                preset=preset, seed=args.seed)
+                                preset=preset, seed=args.seed, run=run)
 
 
-def _run_table6(args, preset):
+def _run_table6(args, preset, run=NULL_RUN):
     return augmentation_ablation(datasets=tuple(args.datasets or ("ETTh1", "Exchange")),
                                  preset=preset, seed=args.seed)
 
 
-def _run_table7(args, preset):
+def _run_table7(args, preset, run=NULL_RUN):
     return pooling_ablation(datasets=tuple(args.datasets or ("FingerMovements", "Epilepsy")),
                             preset=preset, seed=args.seed)
 
 
-def _run_table8(args, preset):
+def _run_table8(args, preset, run=NULL_RUN):
     return backbone_ablation(datasets=tuple(args.datasets or ("ETTh1", "Exchange")),
                              preset=preset, seed=args.seed)
 
 
-def _run_table9(args, preset):
+def _run_table9(args, preset, run=NULL_RUN):
     return stop_gradient_ablation(
         datasets=tuple(args.datasets or ("FingerMovements", "Epilepsy")),
         preset=preset, seed=args.seed)
 
 
-def _run_fig4(args, preset):
+def _run_fig4(args, preset, run=NULL_RUN):
     return training_time_table(datasets=tuple(args.datasets or ("ETTh1", "Exchange")),
                                preset=preset, seed=args.seed)
 
 
-def _run_fig5(args, preset):
+def _run_fig5(args, preset, run=NULL_RUN):
     return {
         "forecasting": semi_supervised_forecasting(
-            datasets=tuple(args.datasets or ("ETTh1",)), preset=preset, seed=args.seed),
+            datasets=tuple(args.datasets or ("ETTh1",)), preset=preset,
+            seed=args.seed, run=run),
         "classification": semi_supervised_classification(
-            datasets=("Epilepsy",), preset=preset, seed=args.seed),
+            datasets=("Epilepsy",), preset=preset, seed=args.seed, run=run),
     }
 
 
-def _run_fig6(args, preset):
+def _run_fig6(args, preset, run=NULL_RUN):
     return lambda_sensitivity(preset=preset, seed=args.seed)
 
 
@@ -124,15 +141,121 @@ def _run_profile(args) -> int:
     with use_fused(not args.unfused):
         result = pretrain(model_config, samples, train_config)
     kernels = "reference (unfused)" if args.unfused else "fused"
-    print(f"profiled {args.steps} pre-training steps "
-          f"(batch={args.batch_size}, T={args.seq_len}, C={args.channels}, "
-          f"{kernels} kernels) in {result.wall_clock_seconds:.3f}s")
-    print(format_profile(result.profile, sort_by=args.sort_by, limit=args.limit))
+    console_log(f"profiled {args.steps} pre-training steps "
+                f"(batch={args.batch_size}, T={args.seq_len}, C={args.channels}, "
+                f"{kernels} kernels) in {result.wall_clock_seconds:.3f}s")
+    console_log(format_profile(result.profile, sort_by=args.sort_by, limit=args.limit))
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(json.dumps(result.profile, indent=2) + "\n")
-        print(f"wrote {args.output}")
+        console_log(f"wrote {args.output}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro runs`` — inspect recorded telemetry runs
+# ----------------------------------------------------------------------
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "—"
+    return str(value)
+
+
+def _runs_list(args) -> int:
+    summaries = list_runs(args.root)
+    if not summaries:
+        console_log(f"no runs under {args.root}")
+        return 0
+    header = f"{'run_id':<36}  {'status':<10}  {'created':<20}  {'final total':>12}  health"
+    console_log(header)
+    console_log("-" * len(header))
+    for summary in summaries:
+        final = summary["summary"].get("final_total")
+        issues = len(summary["health"])
+        console_log(
+            f"{summary['run_id']:<36}  {summary['status']:<10}  "
+            f"{(summary['created_at'] or '—'):<20}  "
+            f"{_format_value(final):>12}  "
+            f"{'ok' if not issues else f'{issues} issue(s)'}")
+    return 0
+
+
+_MANIFEST_SHOW_FIELDS = ("run_id", "name", "status", "created_at", "finished_at",
+                         "package_version", "seed", "wall_clock_seconds")
+_EPOCH_HIDE_KEYS = ("type", "seq", "time")
+
+
+def _runs_show(args) -> int:
+    run = find_run(args.run_id, args.root)
+    console_log(f"# Run {run.run_id}")
+    for field in _MANIFEST_SHOW_FIELDS:
+        if run.manifest.get(field) is not None:
+            console_log(f"{field:>20}: {_format_value(run.manifest[field])}")
+    for section in ("dataset", "model_config", "train_config"):
+        payload = run.manifest.get(section)
+        if payload:
+            body = " ".join(f"{k}={_format_value(v)}"
+                            for k, v in sorted(payload.items()))
+            console_log(f"{section:>20}: {body}")
+    for issue in run.manifest.get("health", []):
+        console_log(f"{'health':>20}: {issue}")
+
+    if run.epoch_metrics:
+        keys: list[str] = []
+        for record in run.epoch_metrics:
+            for key in record:
+                if key not in keys and key not in _EPOCH_HIDE_KEYS:
+                    keys.append(key)
+        console_log("")
+        console_log("  ".join(f"{key:>12}" for key in keys))
+        for record in run.epoch_metrics:
+            console_log("  ".join(
+                f"{_format_value(record.get(key)):>12}" for key in keys))
+    summary = run.manifest.get("summary") or {}
+    if summary:
+        console_log("")
+        console_log("summary: " + " ".join(
+            f"{k}={_format_value(v)}" for k, v in sorted(summary.items())))
+    if args.svg is not None:
+        loss_curve_svg(run, args.svg)
+        console_log(f"wrote {args.svg}")
+    return 0
+
+
+def _runs_diff(args) -> int:
+    left = find_run(args.run_a, args.root)
+    right = find_run(args.run_b, args.root)
+    delta = diff_runs(left, right)
+    console_log(f"# {left.run_id} vs {right.run_id}")
+    if delta["config"]:
+        console_log("config differences:")
+        for key, (a_value, b_value) in sorted(delta["config"].items()):
+            console_log(f"  {key}: {_format_value(a_value)} -> "
+                        f"{_format_value(b_value)}")
+    else:
+        console_log("config differences: none")
+    if delta["metrics"]:
+        console_log("final metrics:")
+        for key, entry in delta["metrics"].items():
+            line = (f"  {key}: a={_format_value(entry['a'])} "
+                    f"b={_format_value(entry['b'])}")
+            if "delta" in entry:
+                line += f" delta={_format_value(entry['delta'])}"
+            console_log(line)
+    return 0
+
+
+def _runs_tail(args) -> int:
+    run = find_run(args.run_id, args.root)
+    for event in tail_events(run, args.count):
+        console_log(json.dumps(event, sort_keys=True))
+    return 0
+
+
+_RUNS_COMMANDS = {"list": _runs_list, "show": _runs_show,
+                  "diff": _runs_diff, "tail": _runs_tail}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +280,28 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--seed", type=int, default=0)
     prof.add_argument("--output", type=pathlib.Path, default=None,
                       help="write the raw op stats as JSON to this file")
+
+    runs = sub.add_parser("runs", help="inspect recorded training runs")
+    runs.set_defaults(experiment="runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list runs under the run root")
+    runs_show = runs_sub.add_parser(
+        "show", help="manifest + per-epoch metrics of one run")
+    runs_show.add_argument("run_id", help="run id, unique prefix, or directory")
+    runs_show.add_argument("--svg", type=pathlib.Path, default=None,
+                           help="also export the loss curves as SVG here")
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs' configs and final metrics")
+    runs_diff.add_argument("run_a")
+    runs_diff.add_argument("run_b")
+    runs_tail = runs_sub.add_parser("tail", help="print a run's last events")
+    runs_tail.add_argument("run_id")
+    runs_tail.add_argument("-n", "--count", type=int, default=20)
+    for runs_cmd in (runs_list, runs_show, runs_diff, runs_tail):
+        runs_cmd.add_argument("--root", type=pathlib.Path,
+                              default=_DEFAULT_RUN_ROOT,
+                              help="run directory root (default results/runs)")
+
     for name, (__, description) in EXPERIMENTS.items():
         exp = sub.add_parser(name, help=description)
         exp.add_argument("--scale", choices=("smoke", "default", "full"),
@@ -166,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
         exp.add_argument("--seed", type=int, default=0)
         exp.add_argument("--output", type=pathlib.Path, default=None,
                          help="directory to write markdown tables into")
+        exp.add_argument("--telemetry", action="store_true",
+                         help="record the experiment as a run under "
+                              "results/runs (manifest + events + metrics)")
+        exp.add_argument("--run-root", type=pathlib.Path,
+                         default=_DEFAULT_RUN_ROOT,
+                         help="where --telemetry writes the run directory")
     return parser
 
 
@@ -178,21 +329,35 @@ def _emit(result, name: str, output: pathlib.Path | None) -> None:
             suffix = f"_{key.lower()}" if key else ""
             path = output / f"{name}{suffix}.md"
             path.write_text(table.to_markdown() + "\n")
-            print(f"wrote {path}")
+            console_log(f"wrote {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (__, description) in EXPERIMENTS.items():
-            print(f"{name:8} {description}")
+            console_log(f"{name:8} {description}")
         return 0
     if args.experiment == "profile":
         return _run_profile(args)
+    if args.experiment == "runs":
+        try:
+            return _RUNS_COMMANDS[args.runs_command](args)
+        except (FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     runner, __ = EXPERIMENTS[args.experiment]
     preset = get_scale(args.scale)
-    print(f"running {args.experiment} at scale {preset.name!r}")
-    result = runner(args, preset)
+    console_log(f"running {args.experiment} at scale {preset.name!r}")
+    if args.telemetry:
+        run = Run.create(root=args.run_root, name=args.experiment,
+                         seed=args.seed, tags={"experiment": args.experiment,
+                                               "scale": preset.name})
+        with run:
+            result = runner(args, preset, run)
+        console_log(f"recorded run {run.run_id} under {args.run_root}")
+    else:
+        result = runner(args, preset)
     _emit(result, args.experiment, args.output)
     return 0
 

@@ -64,7 +64,15 @@ class TimeDRLConfig:
 
 @dataclass
 class PretrainConfig:
-    """Optimisation settings for the self-supervised pre-training stage."""
+    """Optimisation settings for the self-supervised pre-training stage.
+
+    Telemetry fields: ``telemetry=True`` makes :func:`repro.core.pretrain`
+    open a :class:`repro.telemetry.Run` under ``run_root`` and record a
+    manifest, structured events and per-step/per-epoch metrics there.
+    With ``telemetry=False`` (the default) the training trajectory is
+    bit-identical to an uninstrumented loop and the overhead is a strict
+    no-op (see ``tests/core/test_encoder_equivalence.py``).
+    """
 
     epochs: int = 10
     batch_size: int = 32
@@ -74,6 +82,10 @@ class PretrainConfig:
     max_batches_per_epoch: int | None = None  # cap for CPU-scale runs
     verbose: bool = False
     profile: bool = False  # collect op-level stats via repro.nn.profiler
+    telemetry: bool = False      # open a run directory and record events
+    run_root: str = "results/runs"
+    run_name: str | None = None  # human label folded into the run id
+    log_every: int = 1           # per-step metric cadence (0 = epochs only)
     seed: int = 0
 
     def __post_init__(self):
@@ -81,3 +93,5 @@ class PretrainConfig:
             raise ValueError("epochs and batch_size must be >= 1")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if self.log_every < 0:
+            raise ValueError("log_every must be >= 0")

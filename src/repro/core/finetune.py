@@ -30,6 +30,7 @@ from ..evaluation.classification import linear_probe_classification
 from ..evaluation.forecasting import RidgeProbe, collect_forecast_features, ridge_probe_forecasting
 from ..nn import Tensor
 from ..nn import profiler as _profiler
+from ..telemetry import NULL_RUN
 from .model import TimeDRL
 from .pooling import instance_dim
 
@@ -154,14 +155,21 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                           label_fraction: float = 1.0, epochs: int = 5,
                           batch_size: int = 32, lr: float = 1e-3,
                           encoder_lr_scale: float = 0.1,
-                          seed: int = 0, profile: bool = False) -> ForecastResult:
+                          seed: int = 0, profile: bool = False,
+                          run=None) -> ForecastResult:
     """Fig. 5 'TimeDRL (FT)': encoder + head trained on labelled windows.
 
     The encoder learns at ``lr * encoder_lr_scale`` — the usual fine-tuning
     discipline that protects pre-trained weights while the fresh head
     catches up.  Pass a freshly initialised (un-pretrained) model to obtain
     the 'Supervised' curve (same schedule, so the comparison is fair).
+
+    ``run`` optionally attaches a :class:`repro.telemetry.Run` (caller
+    keeps ownership): per-epoch mean loss, span traces and the final test
+    metrics are recorded; omitted, the loop is bit-identical to the
+    uninstrumented path.
     """
+    run = NULL_RUN if run is None else run
     rng = np.random.default_rng(seed)
     config = model.config
     flat_width = config.num_patches * config.d_model
@@ -175,32 +183,40 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
 
     if profile:
         _profiler.enable()
-    for __ in range(epochs):
-        for batch in batch_indices(len(labelled), batch_size, rng):
-            indices = labelled[batch]
-            x, y = data.train.batch(indices)
-            mean, std = _window_stats(x)
-            target_norm = (y - mean) / std
-            x_patched = model.encoder.prepare_input(x)
-            optimizer.zero_grad()
-            encoder_optimizer.zero_grad()
-            z = model.encoder(x_patched)
-            __, z_t = model.encoder.split(z)
-            if config.channel_independence:
-                batch_n, channels = x.shape[0], x.shape[2]
-                flat = z_t.reshape(batch_n * channels, flat_width)
-                pred = head(flat).reshape(batch_n, channels, data.pred_len)
-                pred = pred.transpose(0, 2, 1)
-            else:
-                pred = head(z_t.reshape(x.shape[0], flat_width))
-                pred = pred.reshape(x.shape[0], data.pred_len, -1)
-                if pred.shape[2] == 1 and target_norm.shape[2] > 1:
-                    raise ValueError("channel-mixing head horizon mismatch")
-            loss = nn.mse_loss(pred, Tensor(target_norm))
-            loss.backward()
-            nn.clip_grad_norm(params, 5.0)
-            optimizer.step()
-            encoder_optimizer.step()
+    for epoch in range(epochs):
+        loss_sum, loss_batches = 0.0, 0
+        with run.span("finetune_epoch", task="forecasting", index=epoch):
+            for batch in batch_indices(len(labelled), batch_size, rng):
+                indices = labelled[batch]
+                x, y = data.train.batch(indices)
+                mean, std = _window_stats(x)
+                target_norm = (y - mean) / std
+                x_patched = model.encoder.prepare_input(x)
+                optimizer.zero_grad()
+                encoder_optimizer.zero_grad()
+                z = model.encoder(x_patched)
+                __, z_t = model.encoder.split(z)
+                if config.channel_independence:
+                    batch_n, channels = x.shape[0], x.shape[2]
+                    flat = z_t.reshape(batch_n * channels, flat_width)
+                    pred = head(flat).reshape(batch_n, channels, data.pred_len)
+                    pred = pred.transpose(0, 2, 1)
+                else:
+                    pred = head(z_t.reshape(x.shape[0], flat_width))
+                    pred = pred.reshape(x.shape[0], data.pred_len, -1)
+                    if pred.shape[2] == 1 and target_norm.shape[2] > 1:
+                        raise ValueError("channel-mixing head horizon mismatch")
+                loss = nn.mse_loss(pred, Tensor(target_norm))
+                loss.backward()
+                grad_norm = nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+                encoder_optimizer.step()
+                if run.enabled:
+                    loss_sum += float(loss.data)
+                    loss_batches += 1
+        if run.enabled and loss_batches:
+            run.log_epoch(epoch, loss=loss_sum / loss_batches,
+                          grad_norm=grad_norm, task="finetune_forecasting")
     profile_stats = None
     if profile:
         _profiler.disable()
@@ -228,17 +244,22 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
         truth.append(y)
     y_pred = np.concatenate(preds)
     y_true = np.concatenate(truth)
-    return ForecastResult(mse=metrics.mse(y_true, y_pred), mae=metrics.mae(y_true, y_pred),
-                          profile=profile_stats)
+    result = ForecastResult(mse=metrics.mse(y_true, y_pred),
+                            mae=metrics.mae(y_true, y_pred),
+                            profile=profile_stats)
+    run.log_summary(finetune_mse=result.mse, finetune_mae=result.mae,
+                    finetune_label_fraction=label_fraction)
+    return result
 
 
 def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                              label_fraction: float = 1.0, epochs: int = 10,
                              batch_size: int = 32, lr: float = 1e-3,
                              encoder_lr_scale: float = 0.1,
-                             seed: int = 0, profile: bool = False
-                             ) -> ClassificationResult:
+                             seed: int = 0, profile: bool = False,
+                             run=None) -> ClassificationResult:
     """Fig. 5 classification fine-tuning; see :func:`fine_tune_forecasting`."""
+    run = NULL_RUN if run is None else run
     rng = np.random.default_rng(seed)
     config = model.config
     width = instance_dim(config.pooling, config.d_model, config.num_patches)
@@ -254,21 +275,29 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
 
     if profile:
         _profiler.enable()
-    for __ in range(epochs):
-        for batch in batch_indices(len(labelled), batch_size, rng):
-            indices = labelled[batch]
-            x, y = data.x_train[indices], data.y_train[indices]
-            x_patched = model.encoder.prepare_input(x)
-            optimizer.zero_grad()
-            encoder_optimizer.zero_grad()
-            z = model.encoder(x_patched)
-            z_i, z_t = model.encoder.split(z)
-            pooled = pool_instance(z_i, z_t, config.pooling)
-            loss = nn.cross_entropy(head(pooled), y)
-            loss.backward()
-            nn.clip_grad_norm(params, 5.0)
-            optimizer.step()
-            encoder_optimizer.step()
+    for epoch in range(epochs):
+        loss_sum, loss_batches = 0.0, 0
+        with run.span("finetune_epoch", task="classification", index=epoch):
+            for batch in batch_indices(len(labelled), batch_size, rng):
+                indices = labelled[batch]
+                x, y = data.x_train[indices], data.y_train[indices]
+                x_patched = model.encoder.prepare_input(x)
+                optimizer.zero_grad()
+                encoder_optimizer.zero_grad()
+                z = model.encoder(x_patched)
+                z_i, z_t = model.encoder.split(z)
+                pooled = pool_instance(z_i, z_t, config.pooling)
+                loss = nn.cross_entropy(head(pooled), y)
+                loss.backward()
+                grad_norm = nn.clip_grad_norm(params, 5.0)
+                optimizer.step()
+                encoder_optimizer.step()
+                if run.enabled:
+                    loss_sum += float(loss.data)
+                    loss_batches += 1
+        if run.enabled and loss_batches:
+            run.log_epoch(epoch, loss=loss_sum / loss_batches,
+                          grad_norm=grad_norm, task="finetune_classification")
     profile_stats = None
     if profile:
         _profiler.disable()
@@ -286,5 +315,10 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
             logit_chunks.append(head(pooled).data)
     predictions = np.concatenate(logit_chunks).argmax(axis=1)
     report = metrics.classification_report(data.y_test, predictions)
-    return ClassificationResult(accuracy=report["ACC"], macro_f1=report["MF1"],
-                                kappa=report["kappa"], profile=profile_stats)
+    result = ClassificationResult(accuracy=report["ACC"], macro_f1=report["MF1"],
+                                  kappa=report["kappa"], profile=profile_stats)
+    run.log_summary(finetune_accuracy=result.accuracy,
+                    finetune_macro_f1=result.macro_f1,
+                    finetune_kappa=result.kappa,
+                    finetune_label_fraction=label_fraction)
+    return result

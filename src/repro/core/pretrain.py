@@ -4,6 +4,13 @@ Works for both task families:
 
 * forecasting — batches are sliding input windows (targets unused);
 * classification — batches are whole labelled samples (labels unused).
+
+Observability: pass ``PretrainConfig(telemetry=True)`` (or an explicit
+``run=``) to record the run — manifest, per-step/per-epoch metrics, span
+traces and health events — under ``results/runs/<run_id>/``.  With
+telemetry off the loop is bit-identical to the uninstrumented original:
+no derived metrics are computed, no clocks beyond the wall-clock total
+are read, and no files are touched.
 """
 
 from __future__ import annotations
@@ -17,7 +24,8 @@ from .. import nn
 from ..data.datasets import ForecastingWindows
 from ..data.loader import batch_indices
 from ..nn import profiler
-from ..utils.training import format_profile
+from ..telemetry import NULL_RUN, ParamUpdateMeter, Run, console_log, grad_global_norm
+from ..utils.training import Timer, format_profile
 from .config import PretrainConfig, TimeDRLConfig
 from .model import TimeDRL
 
@@ -32,6 +40,8 @@ class PretrainResult:
     history: list[dict[str, float]] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
     profile: dict[str, dict[str, float]] | None = None  # op stats when profiled
+    run_id: str | None = None   # telemetry run id (when enabled)
+    run_dir: str | None = None  # telemetry run directory (when enabled)
 
     @property
     def final_loss(self) -> float:
@@ -60,8 +70,93 @@ def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
                 return
 
 
+def _profiler_alloc_bytes() -> float:
+    """Cumulative bytes the op profiler has attributed so far."""
+    return float(sum(stat["bytes"] for stat in profiler.snapshot().values()))
+
+
+def _train_epochs(model, optimizer, data, train_config, rng, run,
+                  history: list[dict[str, float]]) -> None:
+    telemetry_on = run.enabled
+    meter = ParamUpdateMeter(model.parameters()) if telemetry_on else None
+    epoch_timer = Timer(accumulate=True) if telemetry_on else None
+    profiling = train_config.profile
+    alloc_before = _profiler_alloc_bytes() if (telemetry_on and profiling) else 0.0
+    global_step = 0
+
+    for epoch in range(train_config.epochs):
+        sums = {"total": 0.0, "predictive": 0.0, "contrastive": 0.0}
+        batches = 0
+        samples = 0
+        with run.span("epoch", index=epoch), (epoch_timer or _NULL_CTX):
+            for x in iterate_pretrain_batches(data, train_config.batch_size, rng,
+                                              train_config.max_batches_per_epoch):
+                optimizer.zero_grad()
+                losses = model.pretraining_losses(x)
+                losses["total"].backward()
+                grad_norm = None
+                if train_config.grad_clip:
+                    grad_norm = nn.clip_grad_norm(model.parameters(),
+                                                  train_config.grad_clip)
+                log_step = (telemetry_on and train_config.log_every
+                            and global_step % train_config.log_every == 0)
+                if log_step:
+                    if grad_norm is None:
+                        grad_norm = grad_global_norm(model.parameters())
+                    meter.snapshot()
+                optimizer.step()
+                for key in sums:
+                    sums[key] += float(losses[key].data)
+                if log_step:
+                    run.log_step(global_step,
+                                 total=float(losses["total"].data),
+                                 predictive=float(losses["predictive"].data),
+                                 contrastive=float(losses["contrastive"].data),
+                                 grad_norm=grad_norm,
+                                 update_ratio=meter.ratio())
+                batches += 1
+                samples += len(x)
+                global_step += 1
+        if batches == 0:
+            raise ValueError("pre-training data yielded no batches")
+        epoch_stats = {key: value / batches for key, value in sums.items()}
+        epoch_stats["epoch"] = float(epoch)
+        history.append(epoch_stats)
+        if telemetry_on:
+            seconds = epoch_timer.last
+            epoch_metrics = {key: epoch_stats[key] for key in sums}
+            epoch_metrics["epoch_seconds"] = seconds
+            epoch_metrics["samples"] = samples
+            if seconds > 0:
+                epoch_metrics["throughput"] = samples / seconds
+            if profiling:
+                alloc_now = _profiler_alloc_bytes()
+                epoch_metrics["alloc_mb"] = (alloc_now - alloc_before) / 1e6
+                alloc_before = alloc_now
+            run.log_epoch(epoch, **epoch_metrics)
+        if train_config.verbose:
+            console_log(f"[pretrain] epoch {epoch}: "
+                        f"total={epoch_stats['total']:.4f} "
+                        f"P={epoch_stats['predictive']:.4f} "
+                        f"C={epoch_stats['contrastive']:.4f}")
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
 def pretrain(model_config: TimeDRLConfig, data,
-             train_config: PretrainConfig | None = None) -> PretrainResult:
+             train_config: PretrainConfig | None = None,
+             run=None) -> PretrainResult:
     """Pre-train a :class:`TimeDRL` model on unlabeled data.
 
     Parameters
@@ -69,12 +164,29 @@ def pretrain(model_config: TimeDRLConfig, data,
     data:
         Either a :class:`ForecastingWindows` (forecasting) or an ndarray of
         samples ``(N, T, C)`` (classification).  Labels are never consumed.
+    run:
+        Optional :class:`repro.telemetry.Run` to report into (the caller
+        keeps ownership).  When omitted, ``train_config.telemetry=True``
+        opens (and finishes) a fresh run under ``train_config.run_root``.
 
     Returns
     -------
     PretrainResult with the trained model and per-epoch loss history.
     """
     train_config = train_config or PretrainConfig()
+    owns_run = False
+    if run is None:
+        if train_config.telemetry:
+            run = Run.create(root=train_config.run_root,
+                             name=train_config.run_name,
+                             model_config=model_config,
+                             train_config=train_config,
+                             seed=train_config.seed, data=data,
+                             log_to_console=train_config.verbose)
+            owns_run = True
+        else:
+            run = NULL_RUN
+
     model = TimeDRL(model_config)
     model.train()
     optimizer = nn.AdamW(model.parameters(), lr=train_config.learning_rate,
@@ -85,38 +197,35 @@ def pretrain(model_config: TimeDRLConfig, data,
         profiler.enable()
 
     start = time.perf_counter()
-    for epoch in range(train_config.epochs):
-        sums = {"total": 0.0, "predictive": 0.0, "contrastive": 0.0}
-        batches = 0
-        for x in iterate_pretrain_batches(data, train_config.batch_size, rng,
-                                          train_config.max_batches_per_epoch):
-            optimizer.zero_grad()
-            losses = model.pretraining_losses(x)
-            losses["total"].backward()
-            if train_config.grad_clip:
-                nn.clip_grad_norm(model.parameters(), train_config.grad_clip)
-            optimizer.step()
-            for key in sums:
-                sums[key] += float(losses[key].data)
-            batches += 1
-        if batches == 0:
-            raise ValueError("pre-training data yielded no batches")
-        epoch_stats = {key: value / batches for key, value in sums.items()}
-        epoch_stats["epoch"] = float(epoch)
-        history.append(epoch_stats)
-        if train_config.verbose:
-            print(f"[pretrain] epoch {epoch}: "
-                  f"total={epoch_stats['total']:.4f} "
-                  f"P={epoch_stats['predictive']:.4f} "
-                  f"C={epoch_stats['contrastive']:.4f}")
+    try:
+        with run.span("pretrain", epochs=train_config.epochs,
+                      batch_size=train_config.batch_size):
+            _train_epochs(model, optimizer, data, train_config, rng, run, history)
+    except BaseException as error:
+        if owns_run:
+            run.emit("health", check="exception", phase="run",
+                     error=type(error).__name__, detail=str(error))
+            run.finish("failed")
+        raise
     elapsed = time.perf_counter() - start
+
     profile = None
     if train_config.profile:
         profiler.disable()
         profile = profiler.snapshot()
         if train_config.verbose:
-            print("[pretrain] op profile:")
-            print(format_profile(profile, limit=20))
+            console_log("[pretrain] op profile:")
+            console_log(format_profile(profile, limit=20))
+    if run.enabled and history:
+        run.log_summary(final_total=history[-1]["total"],
+                        final_predictive=history[-1]["predictive"],
+                        final_contrastive=history[-1]["contrastive"],
+                        epochs=len(history),
+                        wall_clock_seconds=elapsed)
+    if owns_run:
+        run.finish("completed")
     model.eval()
     return PretrainResult(model=model, history=history, wall_clock_seconds=elapsed,
-                          profile=profile)
+                          profile=profile, run_id=run.run_id,
+                          run_dir=(str(run.directory)
+                                   if run.directory is not None else None))

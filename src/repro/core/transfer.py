@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..data.datasets import ForecastingData
 from ..evaluation.forecasting import ridge_probe_forecasting
+from ..telemetry import NULL_RUN
 from .config import PretrainConfig, TimeDRLConfig
 from .finetune import timedrl_forecast_features
 from .model import TimeDRL
@@ -43,11 +44,13 @@ class TransferResult:
 def transfer_forecasting(source: ForecastingData, target: ForecastingData,
                          config: TimeDRLConfig,
                          train_config: PretrainConfig | None = None,
-                         alpha: float = 1.0) -> TransferResult:
+                         alpha: float = 1.0, run=None) -> TransferResult:
     """Pre-train on ``source``, evaluate the frozen encoder on ``target``.
 
     ``config`` must use ``channel_independence=True`` so the encoder is
-    agnostic to the feature counts of the two datasets.
+    agnostic to the feature counts of the two datasets.  An optional
+    telemetry ``run`` traces the three phases (source pre-train, target
+    pre-train, random baseline) as spans and records the resulting MSEs.
     """
     if not config.channel_independence:
         raise ValueError("transfer requires channel_independence=True "
@@ -55,20 +58,29 @@ def transfer_forecasting(source: ForecastingData, target: ForecastingData,
     if source.seq_len != target.seq_len:
         raise ValueError("source and target must share seq_len")
     train_config = train_config or PretrainConfig()
+    run = NULL_RUN if run is None else run
 
-    source_model = pretrain(config, source.train, train_config).model
+    with run.span("transfer_source_pretrain"):
+        source_model = pretrain(config, source.train, train_config, run=run).model
     transfer_mse = ridge_probe_forecasting(
         timedrl_forecast_features(source_model), target, alpha).mse
 
-    target_model = pretrain(config, target.train, train_config).model
+    with run.span("transfer_target_pretrain"):
+        target_model = pretrain(config, target.train, train_config, run=run).model
     in_domain_mse = ridge_probe_forecasting(
         timedrl_forecast_features(target_model), target, alpha).mse
 
-    random_model = TimeDRL(config)
-    random_model.eval()
+    with run.span("transfer_random_baseline"):
+        random_model = TimeDRL(config)
+        random_model.eval()
     random_mse = ridge_probe_forecasting(
         timedrl_forecast_features(random_model), target, alpha).mse
 
-    return TransferResult(transfer_mse=transfer_mse,
-                          in_domain_mse=in_domain_mse,
-                          random_mse=random_mse)
+    result = TransferResult(transfer_mse=transfer_mse,
+                            in_domain_mse=in_domain_mse,
+                            random_mse=random_mse)
+    run.log_summary(transfer_mse=result.transfer_mse,
+                    in_domain_mse=result.in_domain_mse,
+                    random_mse=result.random_mse,
+                    transfer_gap=result.transfer_gap)
+    return result

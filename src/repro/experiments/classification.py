@@ -21,6 +21,7 @@ from ..data import (
 )
 from ..data.datasets import ClassificationData
 from ..evaluation import linear_probe_classification
+from ..telemetry import NULL_RUN
 from .scale import ScalePreset, get_scale
 from .tables import ResultTable
 
@@ -97,22 +98,30 @@ def run_classification_method(method: str, dataset: str, data: ClassificationDat
 def classification_table(datasets: tuple[str, ...] = ("Epilepsy",),
                          methods: tuple[str, ...] = CLASSIFICATION_METHODS,
                          preset: ScalePreset | None = None,
-                         seed: int = 0) -> dict[str, ResultTable]:
+                         seed: int = 0, run=None) -> dict[str, ResultTable]:
     """Regenerate the paper's Table V.
 
     Returns ``{"ACC": table, "MF1": table, "kappa": table}``, one row per
-    dataset and one column per method (values are percentages).
+    dataset and one column per method (values are percentages).  An
+    optional telemetry ``run`` traces each cell and records every score as
+    a structured metric event.
     """
     preset = preset or get_scale()
+    run = NULL_RUN if run is None else run
     tables = {
         metric: ResultTable(f"Linear evaluation, classification ({metric})",
                             columns=list(methods))
         for metric in ("ACC", "MF1", "kappa")
     }
     for dataset in datasets:
-        data = prepare_classification_data(dataset, preset, seed)
-        for method in methods:
-            scores = run_classification_method(method, dataset, data, preset, seed)
-            for metric in tables:
-                tables[metric].add(dataset, method, scores[metric])
+        with run.span("dataset", dataset=dataset):
+            data = prepare_classification_data(dataset, preset, seed)
+            for method in methods:
+                with run.span("method", dataset=dataset, method=method):
+                    scores = run_classification_method(method, dataset, data,
+                                                       preset, seed)
+                for metric in tables:
+                    tables[metric].add(dataset, method, scores[metric])
+                run.emit("metric", experiment="classification_table",
+                         dataset=dataset, method=method, **scores)
     return tables

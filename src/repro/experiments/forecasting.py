@@ -30,6 +30,7 @@ from ..core import (
 )
 from ..data import FORECASTING_DATASETS, load_forecasting_dataset, make_forecasting_data
 from ..evaluation import ridge_probe_forecasting
+from ..telemetry import NULL_RUN
 from .scale import ScalePreset, get_scale
 from .tables import ResultTable
 
@@ -138,24 +139,33 @@ def forecasting_table(datasets: tuple[str, ...] = ("ETTh1",),
                       methods: tuple[str, ...] = FORECAST_METHODS,
                       univariate: bool = False,
                       preset: ScalePreset | None = None,
-                      seed: int = 0) -> dict[str, ResultTable]:
+                      seed: int = 0, run=None) -> dict[str, ResultTable]:
     """Regenerate the paper's Table III (or IV with ``univariate=True``).
 
     Returns ``{"MSE": table, "MAE": table}`` with one row per
-    dataset/horizon pair and one column per method.
+    dataset/horizon pair and one column per method.  An optional telemetry
+    ``run`` traces each dataset/method cell as a span and records every
+    (mse, mae) score as a structured metric event.
     """
     preset = preset or get_scale()
+    run = NULL_RUN if run is None else run
     flavour = "univariate" if univariate else "multivariate"
     mse_table = ResultTable(f"Linear evaluation, {flavour} forecasting (MSE)",
                             columns=list(methods))
     mae_table = ResultTable(f"Linear evaluation, {flavour} forecasting (MAE)",
                             columns=list(methods))
     for dataset in datasets:
-        prepared = prepare_forecasting_data(dataset, preset, univariate, seed)
-        for method in methods:
-            per_horizon = run_forecasting_method(method, prepared, preset, seed)
-            for horizon, (mse_value, mae_value) in per_horizon.items():
-                row = f"{dataset}-{horizon}"
-                mse_table.add(row, method, mse_value)
-                mae_table.add(row, method, mae_value)
+        with run.span("dataset", dataset=dataset, flavour=flavour):
+            prepared = prepare_forecasting_data(dataset, preset, univariate, seed)
+            for method in methods:
+                with run.span("method", dataset=dataset, method=method):
+                    per_horizon = run_forecasting_method(method, prepared,
+                                                         preset, seed)
+                for horizon, (mse_value, mae_value) in per_horizon.items():
+                    row = f"{dataset}-{horizon}"
+                    mse_table.add(row, method, mse_value)
+                    mae_table.add(row, method, mae_value)
+                    run.emit("metric", experiment="forecasting_table",
+                             dataset=dataset, method=method, horizon=horizon,
+                             mse=mse_value, mae=mae_value)
     return {"MSE": mse_table, "MAE": mae_table}

@@ -21,6 +21,7 @@ from ..core import (
     fine_tune_forecasting,
     pretrain,
 )
+from ..telemetry import NULL_RUN
 from .classification import prepare_classification_data, timedrl_classification_config
 from .forecasting import prepare_forecasting_data, timedrl_config_for
 from .scale import ScalePreset, get_scale
@@ -31,9 +32,10 @@ __all__ = ["semi_supervised_forecasting", "semi_supervised_classification"]
 
 def semi_supervised_forecasting(datasets: tuple[str, ...] = ("ETTh1",),
                                 preset: ScalePreset | None = None,
-                                seed: int = 0) -> ResultTable:
+                                seed: int = 0, run=None) -> ResultTable:
     """Fig. 5(a–c): test MSE vs label fraction, supervised vs TimeDRL(FT)."""
     preset = preset or get_scale()
+    run = NULL_RUN if run is None else run
     table = ResultTable("Semi-supervised forecasting (test MSE)",
                         columns=["Supervised", "TimeDRL (FT)"])
     for dataset in datasets:
@@ -42,58 +44,72 @@ def semi_supervised_forecasting(datasets: tuple[str, ...] = ("ETTh1",),
         __, data = next(iter(prepared["horizons"].items()))
         config = timedrl_config_for(prepared["n_features"], preset, seed=seed)
 
-        pretrained = pretrain(config, data.train, PretrainConfig(
-            epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
-            max_batches_per_epoch=preset.max_batches, seed=seed)).model
+        with run.span("pretrain", dataset=dataset):
+            pretrained = pretrain(config, data.train, PretrainConfig(
+                epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
+                max_batches_per_epoch=preset.max_batches, seed=seed),
+                run=run).model
 
         for fraction in preset.label_fractions:
             row = f"{dataset} @ {fraction:.0%}"
-            supervised_model = TimeDRL(config)  # random init, no pre-training
-            supervised = fine_tune_forecasting(
-                supervised_model, data, label_fraction=fraction,
-                epochs=preset.finetune_epochs, batch_size=preset.batch_size,
-                seed=seed)
-            table.add(row, "Supervised", supervised.mse)
+            with run.span("label_fraction", dataset=dataset, fraction=fraction):
+                supervised_model = TimeDRL(config)  # random init, no pre-training
+                supervised = fine_tune_forecasting(
+                    supervised_model, data, label_fraction=fraction,
+                    epochs=preset.finetune_epochs, batch_size=preset.batch_size,
+                    seed=seed)
+                table.add(row, "Supervised", supervised.mse)
 
-            finetuned_model = _clone(pretrained, config)
-            finetuned = fine_tune_forecasting(
-                finetuned_model, data, label_fraction=fraction,
-                epochs=preset.finetune_epochs, batch_size=preset.batch_size,
-                seed=seed)
-            table.add(row, "TimeDRL (FT)", finetuned.mse)
+                finetuned_model = _clone(pretrained, config)
+                finetuned = fine_tune_forecasting(
+                    finetuned_model, data, label_fraction=fraction,
+                    epochs=preset.finetune_epochs, batch_size=preset.batch_size,
+                    seed=seed)
+                table.add(row, "TimeDRL (FT)", finetuned.mse)
+            run.emit("metric", experiment="semi_supervised_forecasting",
+                     dataset=dataset, label_fraction=fraction,
+                     supervised_mse=supervised.mse, finetuned_mse=finetuned.mse)
     return table
 
 
 def semi_supervised_classification(datasets: tuple[str, ...] = ("Epilepsy",),
                                    preset: ScalePreset | None = None,
-                                   seed: int = 0) -> ResultTable:
+                                   seed: int = 0, run=None) -> ResultTable:
     """Fig. 5(d–f): test accuracy vs label fraction."""
     preset = preset or get_scale()
+    run = NULL_RUN if run is None else run
     table = ResultTable("Semi-supervised classification (test ACC %)",
                         columns=["Supervised", "TimeDRL (FT)"])
     for dataset in datasets:
         data = prepare_classification_data(dataset, preset, seed)
         config = timedrl_classification_config(dataset, preset, seed=seed)
 
-        pretrained = pretrain(config, data.x_train, PretrainConfig(
-            epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
-            max_batches_per_epoch=preset.max_batches, seed=seed)).model
+        with run.span("pretrain", dataset=dataset):
+            pretrained = pretrain(config, data.x_train, PretrainConfig(
+                epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
+                max_batches_per_epoch=preset.max_batches, seed=seed),
+                run=run).model
 
         for fraction in preset.label_fractions:
             row = f"{dataset} @ {fraction:.0%}"
-            supervised_model = TimeDRL(config)
-            supervised = fine_tune_classification(
-                supervised_model, data, label_fraction=fraction,
-                epochs=preset.finetune_epochs, batch_size=preset.batch_size,
-                seed=seed)
-            table.add(row, "Supervised", supervised.accuracy)
+            with run.span("label_fraction", dataset=dataset, fraction=fraction):
+                supervised_model = TimeDRL(config)
+                supervised = fine_tune_classification(
+                    supervised_model, data, label_fraction=fraction,
+                    epochs=preset.finetune_epochs, batch_size=preset.batch_size,
+                    seed=seed)
+                table.add(row, "Supervised", supervised.accuracy)
 
-            finetuned_model = _clone(pretrained, config)
-            finetuned = fine_tune_classification(
-                finetuned_model, data, label_fraction=fraction,
-                epochs=preset.finetune_epochs, batch_size=preset.batch_size,
-                seed=seed)
-            table.add(row, "TimeDRL (FT)", finetuned.accuracy)
+                finetuned_model = _clone(pretrained, config)
+                finetuned = fine_tune_classification(
+                    finetuned_model, data, label_fraction=fraction,
+                    epochs=preset.finetune_epochs, batch_size=preset.batch_size,
+                    seed=seed)
+                table.add(row, "TimeDRL (FT)", finetuned.accuracy)
+            run.emit("metric", experiment="semi_supervised_classification",
+                     dataset=dataset, label_fraction=fraction,
+                     supervised_acc=supervised.accuracy,
+                     finetuned_acc=finetuned.accuracy)
     return table
 
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry import console_log
+
 __all__ = ["ResultTable"]
 
 
@@ -56,8 +58,9 @@ class ResultTable:
         return "\n".join(lines)
 
     def print(self, float_format: str = "{:.3f}") -> None:
-        print(self.to_markdown(float_format))
-        print()
+        """Render to the console (stdlib-logging backed, capsys-friendly)."""
+        console_log(self.to_markdown(float_format))
+        console_log()
 
     @classmethod
     def from_markdown(cls, text: str) -> "ResultTable":

@@ -1,0 +1,25 @@
+"""``repro.telemetry`` — run tracking: manifests, events, metrics, spans.
+
+Every training/eval entry point reports through a
+:class:`~repro.telemetry.run.Run` (or the free :data:`NULL_RUN` when
+telemetry is off).  See ``docs/observability.md`` for the run-directory
+layout, event schema and the ``repro runs`` CLI.
+"""
+
+from .console import console_log, get_console_logger
+from .curves import loss_curve_svg
+from .health import DivergenceGuard, default_guards, nan_guard
+from .meters import ParamUpdateMeter, grad_global_norm
+from .registry import DEFAULT_ROOT, diff_runs, find_run, list_runs, tail_events
+from .run import NULL_RUN, EVENT_TYPES, NullRun, Run, dataset_fingerprint
+from .sinks import JsonlSink, LoggingSink, MemorySink, Sink
+
+__all__ = [
+    "Run", "NullRun", "NULL_RUN", "EVENT_TYPES", "dataset_fingerprint",
+    "Sink", "JsonlSink", "LoggingSink", "MemorySink",
+    "nan_guard", "DivergenceGuard", "default_guards",
+    "grad_global_norm", "ParamUpdateMeter",
+    "list_runs", "find_run", "diff_runs", "tail_events", "DEFAULT_ROOT",
+    "loss_curve_svg",
+    "console_log", "get_console_logger",
+]

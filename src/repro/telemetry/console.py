@@ -1,0 +1,62 @@
+"""Console reporting through stdlib ``logging`` instead of bare ``print``.
+
+Training loops and table printers report through :func:`console_log`; the
+``repro.console`` logger renders bare messages (no timestamps or level
+prefixes) to the *current* ``sys.stdout``, so ``verbose=True`` output looks
+exactly like the old ``print`` lines, remains capturable by pytest's
+``capsys``, and can be silenced or redirected with ordinary ``logging``
+configuration (e.g. ``logging.getLogger("repro.console").disabled = True``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["console_log", "get_console_logger"]
+
+_CONSOLE_NAME = "repro.console"
+
+
+class _CurrentStdoutHandler(logging.StreamHandler):
+    """StreamHandler that always writes to the *current* ``sys.stdout``.
+
+    Resolving the stream at emit time (instead of capturing it at handler
+    construction) keeps output visible to tools that swap ``sys.stdout``
+    after import — pytest's ``capsys``, ``contextlib.redirect_stdout``.
+    """
+
+    def __init__(self):
+        super().__init__(stream=sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore it.
+        pass
+
+    def handleError(self, record):
+        # `repro runs ... | head` closes the pipe mid-stream; logging would
+        # print a full traceback per record where print() stays quiet.
+        if isinstance(sys.exc_info()[1], BrokenPipeError):
+            return
+        super().handleError(record)
+
+
+def get_console_logger() -> logging.Logger:
+    """The ``repro.console`` logger, configured on first use."""
+    logger = logging.getLogger(_CONSOLE_NAME)
+    if not logger.handlers:
+        handler = _CurrentStdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+def console_log(message: str = "") -> None:
+    """Print-compatible reporting line (message only, newline-terminated)."""
+    get_console_logger().info("%s", message)

@@ -1,0 +1,34 @@
+"""Loss-curve export: run metrics → SVG via :mod:`repro.viz.svg`."""
+
+from __future__ import annotations
+
+from .run import Run
+
+__all__ = ["loss_curve_svg", "DEFAULT_CURVE_KEYS"]
+
+DEFAULT_CURVE_KEYS = ("total", "predictive", "contrastive")
+
+
+def loss_curve_svg(run: Run, path, keys=DEFAULT_CURVE_KEYS,
+                   title: str | None = None) -> str:
+    """Write an SVG chart of per-epoch metric curves; returns the SVG text.
+
+    ``keys`` selects which epoch-metric series to plot; keys absent from
+    the run are skipped, and asking for none that exist is an error.
+    """
+    # Local import: repro.viz's package __init__ pulls in the experiment
+    # drivers, which import telemetry — importing at module scope would be
+    # a cycle.
+    from ..viz.svg import line_chart
+
+    series = {}
+    for key in keys:
+        points = run.metric_series(key)
+        if points:
+            series[key] = points
+    if not series:
+        raise ValueError(
+            f"run {run.run_id} has no epoch metrics among {tuple(keys)}")
+    return line_chart(series, path,
+                      title=title or f"Run {run.run_id}: loss curves",
+                      x_label="epoch", y_label="loss")

@@ -1,0 +1,79 @@
+"""Health guards: turn silent training failures into structured events.
+
+A guard is a callable ``guard(metrics: dict) -> dict | None``; it receives
+every step/epoch metric record and returns a failure payload when it
+detects something wrong.  The :class:`~repro.telemetry.run.Run` records the
+payload as a ``health`` event (and marks the run unhealthy) instead of the
+run dying silently with ``nan`` losses in an unread console.
+
+Guards are deliberately pure observers — they never raise and never stop
+training themselves; policies (abort, alert) belong to the caller.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["nan_guard", "DivergenceGuard", "default_guards"]
+
+_WATCHED_PREFIXES = ("total", "predictive", "contrastive", "loss")
+
+
+def _watched(metrics: dict) -> dict:
+    return {key: value for key, value in metrics.items()
+            if isinstance(value, (int, float))
+            and any(key == p or key.startswith(p) for p in _WATCHED_PREFIXES)}
+
+
+def nan_guard(metrics: dict) -> dict | None:
+    """Flag the first non-finite loss component (NaN or ±inf)."""
+    for key, value in _watched(metrics).items():
+        if not math.isfinite(value):
+            return {"check": "non_finite_loss", "metric": key,
+                    "value": repr(float(value))}
+    return None
+
+
+class DivergenceGuard:
+    """Flag a loss that blows up relative to the best value seen so far.
+
+    ``factor`` is how many times worse than the best observed loss the
+    current value must be before it counts as divergence; ``warmup``
+    records to skip before judging (early losses are legitimately large).
+    Stateful, so each run needs its own instance.
+    """
+
+    def __init__(self, metric: str = "total", factor: float = 10.0,
+                 warmup: int = 1):
+        if factor <= 1.0:
+            raise ValueError("divergence factor must be > 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.metric = metric
+        self.factor = factor
+        self.warmup = warmup
+        self.best: float | None = None
+        self._seen = 0
+
+    def __call__(self, metrics: dict) -> dict | None:
+        value = metrics.get(self.metric)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            return None  # nan_guard owns non-finite values
+        self._seen += 1
+        if self.best is None or value < self.best:
+            self.best = float(value)
+        if self._seen <= self.warmup:
+            return None
+        # abs() keeps the threshold meaningful for losses near zero or
+        # negative (e.g. log-likelihoods).
+        threshold = self.best + self.factor * max(abs(self.best), 1e-8)
+        if value > threshold:
+            return {"check": "divergence", "metric": self.metric,
+                    "value": float(value), "best": self.best,
+                    "factor": self.factor}
+        return None
+
+
+def default_guards() -> list:
+    """Fresh guard set for a new run (guards can be stateful)."""
+    return [nan_guard, DivergenceGuard()]

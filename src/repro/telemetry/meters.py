@@ -1,0 +1,54 @@
+"""Derived training metrics: gradient norm, parameter-update ratio.
+
+These are *opt-in* costs: the training loops only construct/query meters
+when a real telemetry run is attached, so the disabled path stays a strict
+no-op (the bit-identity contract in
+``tests/core/test_encoder_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["grad_global_norm", "ParamUpdateMeter"]
+
+
+def grad_global_norm(parameters) -> float:
+    """Global L2 norm over all present gradients (no mutation)."""
+    total = 0.0
+    for param in parameters:
+        grad = getattr(param, "grad", None)
+        if grad is not None:
+            total += float((grad ** 2).sum())
+    return float(np.sqrt(total))
+
+
+class ParamUpdateMeter:
+    """Measures ``‖Δθ‖ / ‖θ‖`` across an optimizer step.
+
+    Call :meth:`snapshot` before ``optimizer.step()`` and :meth:`ratio`
+    after; the ratio is the classic training-health signal — ~1e-3 is a
+    healthy learning rate, ~1e-1 means steps are tearing up the weights,
+    ~1e-6 means nothing is moving.
+    """
+
+    def __init__(self, parameters):
+        self.parameters = list(parameters)
+        self._before: list[np.ndarray] | None = None
+        self._norm_before = 0.0
+
+    def snapshot(self) -> None:
+        self._before = [param.data.copy() for param in self.parameters]
+        self._norm_before = float(np.sqrt(sum(
+            float((b ** 2).sum()) for b in self._before)))
+
+    def ratio(self) -> float:
+        if self._before is None:
+            raise RuntimeError("call snapshot() before ratio()")
+        delta_sq = sum(
+            float(((param.data - before) ** 2).sum())
+            for param, before in zip(self.parameters, self._before))
+        self._before = None  # free the copies promptly
+        if self._norm_before == 0.0:
+            return 0.0
+        return float(np.sqrt(delta_sq)) / self._norm_before

@@ -1,0 +1,126 @@
+"""Query finished run directories: list, resolve, diff, tail.
+
+Backs the ``repro runs`` CLI family.  All functions operate on a *root*
+directory (default ``results/runs``) whose children are run directories
+written by :class:`~repro.telemetry.run.Run`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .run import EVENTS_NAME, MANIFEST_NAME, Run
+
+__all__ = ["list_runs", "find_run", "diff_runs", "tail_events",
+           "DEFAULT_ROOT"]
+
+DEFAULT_ROOT = pathlib.Path("results/runs")
+
+
+def list_runs(root=DEFAULT_ROOT) -> list[dict]:
+    """Manifest summaries of every run under ``root``, oldest first."""
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return []
+    summaries = []
+    for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            continue
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        summaries.append({
+            "run_id": manifest.get("run_id", directory.name),
+            "name": manifest.get("name"),
+            "status": manifest.get("status", "unknown"),
+            "created_at": manifest.get("created_at"),
+            "created_unix": manifest.get("created_unix", 0.0),
+            "seed": manifest.get("seed"),
+            "summary": manifest.get("summary", {}),
+            "health": manifest.get("health", []),
+            "directory": str(directory),
+        })
+    summaries.sort(key=lambda s: (s["created_unix"], s["run_id"]))
+    return summaries
+
+
+def find_run(identifier: str, root=DEFAULT_ROOT) -> Run:
+    """Load the run whose id (or unique prefix) matches ``identifier``.
+
+    A path to a run directory is accepted directly.
+    """
+    as_path = pathlib.Path(identifier)
+    if (as_path / MANIFEST_NAME).is_file():
+        return Run.load(as_path)
+    root = pathlib.Path(root)
+    exact = root / identifier
+    if (exact / MANIFEST_NAME).is_file():
+        return Run.load(exact)
+    matches = [s for s in list_runs(root)
+               if s["run_id"].startswith(identifier)
+               or (s["name"] or "").startswith(identifier)]
+    if not matches:
+        raise FileNotFoundError(
+            f"no run matching {identifier!r} under {root}")
+    if len(matches) > 1:
+        ids = ", ".join(s["run_id"] for s in matches)
+        raise ValueError(f"ambiguous run id {identifier!r}: matches {ids}")
+    return Run.load(matches[0]["directory"])
+
+
+def _final_metrics(run: Run) -> dict:
+    final = dict(run.manifest.get("summary") or {})
+    last_epoch = run.final_epoch()
+    if last_epoch:
+        for key, value in last_epoch.items():
+            if key in ("type", "seq", "time"):
+                continue
+            final.setdefault(key, value)
+    return final
+
+
+def diff_runs(a: Run, b: Run) -> dict:
+    """Structured comparison of two runs: config changes + metric deltas.
+
+    Returns ``{"config": {field: (a, b)}, "metrics": {key: {"a": ..,
+    "b": .., "delta": ..}}}`` where config covers manifest fields that
+    differ and metrics covers the union of both runs' final metrics.
+    """
+    config_diff: dict[str, tuple] = {}
+    for section in ("model_config", "train_config", "seed", "dataset",
+                    "package_version"):
+        left, right = a.manifest.get(section), b.manifest.get(section)
+        if isinstance(left, dict) or isinstance(right, dict):
+            keys = set(left or {}) | set(right or {})
+            for key in sorted(keys):
+                lv = (left or {}).get(key)
+                rv = (right or {}).get(key)
+                if lv != rv:
+                    config_diff[f"{section}.{key}"] = (lv, rv)
+        elif left != right:
+            config_diff[section] = (left, right)
+
+    metrics_a, metrics_b = _final_metrics(a), _final_metrics(b)
+    metric_diff: dict[str, dict] = {}
+    for key in sorted(set(metrics_a) | set(metrics_b)):
+        left, right = metrics_a.get(key), metrics_b.get(key)
+        entry = {"a": left, "b": right}
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            entry["delta"] = right - left
+        metric_diff[key] = entry
+    return {"a": a.run_id, "b": b.run_id,
+            "config": config_diff, "metrics": metric_diff}
+
+
+def tail_events(run: Run, count: int = 20) -> list[dict]:
+    """Last ``count`` events of a loaded run (re-reads the file if empty)."""
+    events = run.events
+    if not events and run.directory is not None:
+        path = pathlib.Path(run.directory) / EVENTS_NAME
+        if path.is_file():
+            from .sinks import JsonlSink
+            events = JsonlSink.read(path)
+    return events[-count:]

@@ -1,0 +1,123 @@
+"""Pluggable event sinks for the run-tracking subsystem.
+
+A sink receives every structured event a :class:`~repro.telemetry.run.Run`
+emits.  Three implementations cover the common cases:
+
+* :class:`JsonlSink` — append-only ``events.jsonl`` in the run directory,
+  one JSON object per line, flushed per event so ``repro runs tail`` can
+  follow a live run;
+* :class:`LoggingSink` — human-readable lines through stdlib ``logging``
+  (stderr by default), for interactive visibility;
+* :class:`MemorySink` — keeps events in a list, for tests and notebooks.
+
+Sinks are intentionally tiny: ``emit(event)`` plus lifecycle hooks.  The
+``Run`` object fans each event out to all attached sinks and closes them
+at ``finish()``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+
+__all__ = ["Sink", "JsonlSink", "LoggingSink", "MemorySink"]
+
+
+class Sink:
+    """Interface: receives structured event dicts from a Run."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class JsonlSink(Sink):
+    """Append events to a JSONL file, one object per line.
+
+    The file handle is opened lazily (so constructing a sink never touches
+    the filesystem) and every event is flushed immediately — a crashed run
+    keeps all events up to the failure, and ``tail`` works on live runs.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read(path) -> list[dict]:
+        """Load all events from a JSONL file (inverse of :meth:`emit`)."""
+        events = []
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+        return events
+
+
+class LoggingSink(Sink):
+    """Render events through stdlib ``logging`` (stderr by default).
+
+    Metric events become compact ``key=value`` lines; health events are
+    logged as warnings so they stand out in console output.
+    """
+
+    def __init__(self, logger: logging.Logger | None = None,
+                 level: int = logging.INFO):
+        self.logger = logger or logging.getLogger("repro.telemetry")
+        self.level = level
+
+    def emit(self, event: dict) -> None:
+        level = logging.WARNING if event.get("type") == "health" else self.level
+        if self.logger.isEnabledFor(level):
+            self.logger.log(level, "%s", self._format(event))
+
+    @staticmethod
+    def _format(event: dict) -> str:
+        kind = event.get("type", "?")
+        skip = ("type", "seq", "time")
+        body = " ".join(
+            f"{key}={_short(value)}" for key, value in sorted(event.items())
+            if key not in skip)
+        return f"[{kind}] {body}" if body else f"[{kind}]"
+
+
+def _short(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class MemorySink(Sink):
+    """Collects events in memory; ``events`` is the raw list."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e.get("type") == kind]

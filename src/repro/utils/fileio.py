@@ -1,0 +1,28 @@
+"""Small filesystem helpers shared by telemetry and metric artifacts."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically, creating parent directories.
+
+    The text lands in a same-directory temp file first and is moved into
+    place with :func:`os.replace`, so readers (and interrupted writers)
+    never observe a truncated file — an interrupted run leaves either the
+    previous artifact or the new one, nothing in between.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(f".{target.name}.tmp{os.getpid()}")
+    try:
+        temp.write_text(text, encoding="utf-8")
+        os.replace(temp, target)
+    finally:
+        if temp.exists():  # only on failure before the replace
+            temp.unlink(missing_ok=True)
+    return target

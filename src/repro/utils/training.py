@@ -8,6 +8,8 @@ import time
 
 import numpy as np
 
+from .fileio import atomic_write_text
+
 __all__ = ["EarlyStopping", "MetricTracker", "Timer", "set_global_seed",
            "format_profile"]
 
@@ -123,8 +125,13 @@ class MetricTracker:
         }
 
     def save(self, path) -> None:
+        """Write the JSON artifact atomically (temp file + rename).
+
+        Parent directories are created on demand, and an interrupted run
+        can never leave a truncated/half-written JSON file behind.
+        """
         payload = {"history": self.history, "summary": self.summary()}
-        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+        atomic_write_text(path, json.dumps(payload, indent=2))
 
     @classmethod
     def load(cls, path) -> "MetricTracker":
@@ -135,10 +142,28 @@ class MetricTracker:
 
 
 class Timer:
-    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``.
 
-    def __init__(self):
-        self.seconds: float = 0.0
+    The same instance is safely reusable: each ``with`` block re-arms the
+    clock, a stray ``__exit__`` without a matching ``__enter__`` is a
+    no-op (it used to raise ``TypeError``), and re-entering while already
+    running simply restarts the measurement.
+
+    With ``accumulate=True`` the timer sums laps instead of overwriting —
+    handy for "total time in X across all epochs"::
+
+        epoch_timer = Timer(accumulate=True)
+        for epoch in range(epochs):
+            with epoch_timer:
+                train_one_epoch()
+        print(epoch_timer.seconds, epoch_timer.laps, epoch_timer.last)
+    """
+
+    def __init__(self, accumulate: bool = False):
+        self.accumulate = accumulate
+        self.seconds: float = 0.0   # last lap, or the running sum
+        self.last: float = 0.0      # most recent lap, in either mode
+        self.laps: int = 0
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
@@ -146,5 +171,18 @@ class Timer:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.seconds = time.perf_counter() - self._start
+        if self._start is None:
+            return  # unmatched __exit__: keep previous measurements intact
+        self.last = time.perf_counter() - self._start
         self._start = None
+        self.laps += 1
+        if self.accumulate:
+            self.seconds += self.last
+        else:
+            self.seconds = self.last
+
+    def reset(self) -> None:
+        """Zero all measurements (does not stop a running lap)."""
+        self.seconds = 0.0
+        self.last = 0.0
+        self.laps = 0

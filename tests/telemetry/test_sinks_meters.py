@@ -1,0 +1,96 @@
+"""Tests for sinks, the console logger, and derived-metric meters."""
+
+import json
+import logging
+
+import numpy as np
+
+from repro.nn import Linear
+from repro.telemetry import (
+    JsonlSink,
+    LoggingSink,
+    ParamUpdateMeter,
+    console_log,
+    grad_global_norm,
+)
+
+
+class TestJsonlSink:
+    def test_lazy_open_and_append(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        sink = JsonlSink(path)
+        assert not path.parent.exists()  # constructing touches nothing
+        sink.emit({"type": "a", "value": 1})
+        sink.emit({"type": "b", "value": 2.5})
+        sink.close()
+        events = JsonlSink.read(path)
+        assert [e["type"] for e in events] == ["a", "b"]
+        assert events[1]["value"] == 2.5
+
+    def test_flushed_per_event_for_live_tailing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "early"})
+        # readable before close — a live `repro runs tail` must see this
+        assert JsonlSink.read(path) == [{"type": "early"}]
+        sink.close()
+
+
+class TestLoggingSink:
+    def test_formats_through_logger(self, caplog):
+        sink = LoggingSink(logging.getLogger("repro.telemetry.test"))
+        with caplog.at_level(logging.INFO, logger="repro.telemetry.test"):
+            sink.emit({"type": "epoch", "seq": 1, "time": 0.0, "total": 1.25})
+        assert "[epoch]" in caplog.text
+        assert "total=1.25" in caplog.text
+
+    def test_health_events_are_warnings(self, caplog):
+        sink = LoggingSink(logging.getLogger("repro.telemetry.test"))
+        with caplog.at_level(logging.INFO, logger="repro.telemetry.test"):
+            sink.emit({"type": "health", "check": "non_finite_loss"})
+        assert caplog.records[0].levelno == logging.WARNING
+
+
+class TestConsoleLog:
+    def test_writes_to_current_stdout(self, capsys):
+        console_log("hello from the console logger")
+        assert capsys.readouterr().out == "hello from the console logger\n"
+
+
+class TestMeters:
+    def _layer(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        for param in layer.parameters():
+            param.grad = np.full_like(param.data, 0.5)
+        return layer
+
+    def test_grad_global_norm_matches_numpy(self):
+        layer = self._layer()
+        expected = np.sqrt(sum(float((p.grad ** 2).sum())
+                               for p in layer.parameters()))
+        assert np.isclose(grad_global_norm(layer.parameters()), expected)
+
+    def test_grad_global_norm_skips_missing_grads(self):
+        layer = self._layer()
+        layer.parameters()[0].grad = None
+        assert grad_global_norm(layer.parameters()) > 0
+
+    def test_update_ratio(self):
+        layer = self._layer()
+        meter = ParamUpdateMeter(layer.parameters())
+        meter.snapshot()
+        norm_before = np.sqrt(sum(float((p.data ** 2).sum())
+                                  for p in layer.parameters()))
+        for param in layer.parameters():
+            param.data = param.data + 0.01
+        delta = np.sqrt(sum(np.prod(p.data.shape) for p in layer.parameters())) * 0.01
+        assert np.isclose(meter.ratio(), delta / norm_before)
+
+    def test_ratio_requires_snapshot(self):
+        meter = ParamUpdateMeter(self._layer().parameters())
+        try:
+            meter.ratio()
+        except RuntimeError as error:
+            assert "snapshot" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected RuntimeError")

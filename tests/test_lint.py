@@ -1,0 +1,28 @@
+"""Tier-1 enforcement of the no-print lint (CI runs the script directly)."""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+
+from check_print import check_tree, print_calls  # noqa: E402
+
+
+class TestNoPrintInLibrary:
+    def test_library_code_has_no_bare_print(self):
+        violations = check_tree(REPO / "src" / "repro")
+        assert violations == [], "\n".join(violations)
+
+    def test_detects_actual_call(self):
+        assert print_calls("print('hi')\n") == [1]
+        assert print_calls("def f():\n    print(x)\n") == [2]
+
+    def test_ignores_docstrings_and_strings(self):
+        # The profiler docstring contains a usage example with print( —
+        # an AST walk must not flag text that merely mentions it.
+        assert print_calls('"""example:\n    print(table)\n"""\n') == []
+        assert print_calls("s = 'print(x)'\n") == []
+
+    def test_ignores_attribute_named_print(self):
+        assert print_calls("logger.print('hi')\n") == []

@@ -32,6 +32,28 @@ class TestEarlyStopping:
         stopper.step(1.0)
         assert stopper.step(0.95)  # within delta: counts as stale
 
+    def test_exact_delta_improvement_does_not_reset_patience(self):
+        # Boundary: value == best - min_delta is NOT an improvement
+        # (the contract is strict inequality), so patience keeps counting.
+        stopper = EarlyStopping(patience=2, mode="min", min_delta=0.1)
+        stopper.step(1.0)
+        assert not stopper.step(0.9)   # exactly best - delta: stale #1
+        assert stopper.best == 1.0     # best unchanged
+        assert stopper.step(0.9)       # stale #2 -> stop
+
+    def test_exact_delta_boundary_max_mode(self):
+        stopper = EarlyStopping(patience=1, mode="max", min_delta=0.1)
+        stopper.step(1.0)
+        assert stopper.step(1.1)       # exactly best + delta: stale -> stop
+        assert stopper.best == 1.0
+
+    def test_just_past_delta_resets_patience(self):
+        stopper = EarlyStopping(patience=1, mode="min", min_delta=0.1)
+        stopper.step(1.0)
+        assert not stopper.step(0.8999999)  # strictly beyond delta: improves
+        assert stopper.best == 0.8999999
+        assert stopper._stale == 0
+
     def test_best_step_tracked(self):
         stopper = EarlyStopping(patience=5)
         for value in (3.0, 2.0, 2.5, 1.0, 1.5):
@@ -73,12 +95,106 @@ class TestMetricTracker:
         restored = MetricTracker.load(path)
         assert restored.history == {"mse": [0.3, 0.2]}
 
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        tracker = MetricTracker()
+        tracker.log(loss=1.0)
+        path = tmp_path / "deep" / "nested" / "metrics.json"
+        tracker.save(path)
+        assert MetricTracker.load(path).history == {"loss": [1.0]}
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        tracker = MetricTracker()
+        tracker.log(loss=1.0)
+        path = tmp_path / "metrics.json"
+        tracker.save(path)
+        tracker.log(loss=0.5)
+        tracker.save(path)  # overwrite goes through temp + rename
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["metrics.json"]
+        assert MetricTracker.load(path).history == {"loss": [1.0, 0.5]}
+
+    def test_interrupted_write_preserves_previous_artifact(self, tmp_path,
+                                                           monkeypatch):
+        import pathlib
+
+        tracker = MetricTracker()
+        tracker.log(loss=1.0)
+        path = tmp_path / "metrics.json"
+        tracker.save(path)
+        original = path.read_text()
+
+        # Simulate dying mid-write: the temp file write explodes.
+        real_write = pathlib.Path.write_text
+
+        def exploding_write(self, *args, **kwargs):
+            if self.name.startswith(".metrics.json.tmp"):
+                raise OSError("disk full")
+            return real_write(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "write_text", exploding_write)
+        tracker.log(loss=0.5)
+        with pytest.raises(OSError):
+            tracker.save(path)
+        monkeypatch.undo()
+        assert path.read_text() == original  # old artifact intact, not truncated
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["metrics.json"]
+
 
 class TestTimerAndSeed:
     def test_timer_measures_elapsed(self):
         with Timer() as timer:
             sum(range(100_000))
         assert timer.seconds > 0
+
+    def test_timer_is_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:  # used to require a fresh instance
+            sum(range(10_000))
+        assert timer.seconds > 0
+        assert timer.laps == 2
+        assert timer.seconds != first or timer.last >= 0
+
+    def test_exit_without_enter_is_safe(self):
+        timer = Timer()
+        timer.__exit__(None, None, None)  # used to raise TypeError
+        assert timer.seconds == 0.0
+        assert timer.laps == 0
+
+    def test_exit_after_completed_block_preserves_measurement(self):
+        timer = Timer()
+        with timer:
+            sum(range(10_000))
+        recorded = timer.seconds
+        timer.__exit__(None, None, None)  # stray second exit: no-op
+        assert timer.seconds == recorded
+
+    def test_accumulating_mode_sums_laps(self):
+        timer = Timer(accumulate=True)
+        for __ in range(3):
+            with timer:
+                sum(range(10_000))
+        assert timer.laps == 3
+        assert timer.seconds >= timer.last > 0
+        assert timer.seconds >= 3 * min(timer.last, timer.seconds / 3)
+
+    def test_non_accumulating_mode_overwrites(self):
+        timer = Timer()
+        with timer:
+            sum(range(200_000))
+        long_lap = timer.seconds
+        with timer:
+            pass
+        assert timer.seconds <= long_lap
+        assert timer.seconds == timer.last
+
+    def test_reset(self):
+        timer = Timer(accumulate=True)
+        with timer:
+            pass
+        timer.reset()
+        assert timer.seconds == 0.0 and timer.laps == 0 and timer.last == 0.0
 
     def test_set_global_seed_reproducible(self):
         rng1 = set_global_seed(42)
