@@ -1,0 +1,71 @@
+"""Checkpoint/recovery configuration, carried by ``PretrainConfig``.
+
+``CheckpointConfig`` is a plain dataclass so it serializes into run
+manifests via ``dataclasses.asdict`` like every other config.  The
+recovery fields escalate the passive telemetry health guards
+(``repro.telemetry.health``) into *actions*:
+
+* ``on_nan`` — what to do when a loss (or gradient norm) goes non-finite:
+  ``"abort"`` (raise :class:`~repro.checkpoint.recovery.TrainingAborted`),
+  ``"skip_batch"`` (drop the poisoned batch and continue),
+  ``"rollback"`` (restore the last checkpoint with an LR backoff), or
+  ``"ignore"`` (record only — the pre-PR-3 behavior);
+* ``on_divergence`` — same choices, judged per epoch against the best
+  epoch loss seen so far (``divergence_factor``, mirroring
+  ``telemetry.health.DivergenceGuard``);
+* ``max_recoveries`` — bounded retry: after this many recovery actions
+  the run aborts instead of looping forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CheckpointConfig", "RECOVERY_ACTIONS"]
+
+RECOVERY_ACTIONS = ("abort", "skip_batch", "rollback", "ignore")
+
+
+@dataclass
+class CheckpointConfig:
+    """Where/when to checkpoint and how to recover from bad batches."""
+
+    directory: str | None = None   # default: <run_dir>/checkpoints or run_root/checkpoints
+    every_n_batches: int | None = None  # None = checkpoint at epoch boundaries only
+    every_n_epochs: int = 1
+    keep_last: int = 3
+    best_metric: str | None = "total"   # per-epoch metric for best-marker retention
+    best_mode: str = "min"
+    resume: bool = False           # resume from the newest valid checkpoint
+    on_nan: str = "abort"
+    on_divergence: str = "ignore"
+    divergence_factor: float = 10.0
+    lr_backoff: float = 0.5        # lr multiplier per rollback
+    max_recoveries: int = 3
+    data_spec: dict | None = None  # registry spec for `repro runs resume`
+
+    def __post_init__(self):
+        if self.every_n_batches is not None and self.every_n_batches < 1:
+            raise ValueError("every_n_batches must be >= 1 or None")
+        if self.every_n_epochs < 1:
+            raise ValueError("every_n_epochs must be >= 1")
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        if self.best_mode not in ("min", "max"):
+            raise ValueError("best_mode must be 'min' or 'max'")
+        for field_name in ("on_nan", "on_divergence"):
+            value = getattr(self, field_name)
+            if value not in RECOVERY_ACTIONS:
+                raise ValueError(
+                    f"{field_name} must be one of {RECOVERY_ACTIONS}, "
+                    f"got {value!r}")
+        if not 0 < self.lr_backoff <= 1:
+            raise ValueError("lr_backoff must be in (0, 1]")
+        if self.max_recoveries < 1:
+            raise ValueError("max_recoveries must be >= 1")
+        if self.divergence_factor <= 1:
+            raise ValueError("divergence_factor must be > 1")
+
+    @property
+    def wants_rollback(self) -> bool:
+        return "rollback" in (self.on_nan, self.on_divergence)

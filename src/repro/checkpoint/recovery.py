@@ -1,0 +1,109 @@
+"""Active recovery: turn health findings into rollback/skip/abort actions.
+
+PR 2's health guards (``repro.telemetry.health``) are pure observers —
+they record a NaN and training marches on, poisoned.  The
+:class:`RecoveryController` closes the loop: the training driver reports
+bad losses/gradients and epoch stats here, and gets back an *action* to
+execute, bounded by ``max_recoveries`` so a permanently-broken run aborts
+instead of thrashing.
+
+Every action is mirrored as a structured ``recovery`` telemetry event, so
+``repro runs tail`` shows exactly which policy fired, when, and why.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .config import CheckpointConfig
+
+__all__ = ["RecoveryController", "TrainingAborted"]
+
+
+class TrainingAborted(RuntimeError):
+    """Deliberate abort by a recovery policy (not an unhandled crash)."""
+
+    def __init__(self, message: str, recoveries: int = 0):
+        super().__init__(message)
+        self.recoveries = recoveries
+
+
+class RecoveryController:
+    """Decide and account for recovery actions during one training run."""
+
+    def __init__(self, config: CheckpointConfig, run=None):
+        self.config = config
+        self.run = run
+        self.recoveries = 0      # total actions taken (skip + rollback)
+        self.rollbacks = 0       # rollbacks only (drives cumulative LR backoff)
+        self._best_epoch_loss: float | None = None
+
+    # -- checks ---------------------------------------------------------
+    def check_loss(self, value: float, epoch: int, batch: int,
+                   step: int) -> str | None:
+        """Action for a per-batch loss value, or ``None`` when healthy."""
+        if math.isfinite(value):
+            return None
+        return self._decide(self.config.on_nan, check="non_finite_loss",
+                            value=repr(float(value)), epoch=epoch,
+                            batch=batch, step=step)
+
+    def check_grad(self, grad_norm: float, epoch: int, batch: int,
+                   step: int) -> str | None:
+        """Action for a per-batch global gradient norm."""
+        if math.isfinite(grad_norm):
+            return None
+        return self._decide(self.config.on_nan, check="non_finite_grad",
+                            value=repr(float(grad_norm)), epoch=epoch,
+                            batch=batch, step=step)
+
+    def check_epoch(self, total: float, epoch: int) -> str | None:
+        """Divergence action for one epoch's mean total loss."""
+        if not math.isfinite(total):
+            return self._decide(self.config.on_nan, check="non_finite_loss",
+                                value=repr(float(total)), epoch=epoch,
+                                batch=-1, step=-1)
+        if self._best_epoch_loss is None or total < self._best_epoch_loss:
+            self._best_epoch_loss = float(total)
+            return None
+        threshold = (self._best_epoch_loss + self.config.divergence_factor
+                     * max(abs(self._best_epoch_loss), 1e-8))
+        if total > threshold:
+            return self._decide(self.config.on_divergence, check="divergence",
+                                value=float(total),
+                                best=self._best_epoch_loss, epoch=epoch,
+                                batch=-1, step=-1)
+        return None
+
+    # -- accounting -----------------------------------------------------
+    def _decide(self, action: str, **payload) -> str | None:
+        if action == "ignore":
+            return None
+        if action != "abort":
+            self.recoveries += 1
+            if self.recoveries > self.config.max_recoveries:
+                self._emit("abort_after_n", **payload)
+                raise TrainingAborted(
+                    f"aborting after {self.recoveries - 1} recovery actions "
+                    f"(max_recoveries={self.config.max_recoveries}); "
+                    f"last finding: {payload.get('check')}",
+                    recoveries=self.recoveries - 1)
+        if action == "abort":
+            self._emit("abort", **payload)
+            raise TrainingAborted(
+                f"recovery policy is 'abort' for {payload.get('check')} "
+                f"(value={payload.get('value')}) at epoch "
+                f"{payload.get('epoch')}", recoveries=self.recoveries)
+        if action == "rollback":
+            self.rollbacks += 1
+        self._emit(action, **payload)
+        return action
+
+    def lr_scale(self) -> float:
+        """Cumulative LR backoff across every rollback taken so far."""
+        return self.config.lr_backoff ** self.rollbacks
+
+    def _emit(self, action: str, **payload) -> None:
+        if self.run is not None and getattr(self.run, "enabled", False):
+            self.run.emit("recovery", action=action,
+                          recoveries=self.recoveries, **payload)

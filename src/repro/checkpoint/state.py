@@ -1,0 +1,153 @@
+"""Training-state capture/restore: the "what" of a checkpoint.
+
+A :class:`TrainingState` is the complete, restartable image of one
+training loop at a batch boundary:
+
+* model parameters and buffers (strict ``state_dict`` round-trip);
+* optimizer state (SGD velocity, Adam/AdamW moments + step count, lr);
+* every ``numpy.random.Generator`` reachable from the model tree (dropout
+  layers, augmentation RNG) plus the data-loader RNG as of the *start of
+  the current epoch* — together with the batch cursor this replays the
+  epoch's shuffle permutation exactly, so resume is bit-identical;
+* the epoch/batch cursor, partial per-epoch loss sums and the per-epoch
+  history accumulated so far;
+* optional extra stateful objects (``EarlyStopping``, ``MetricTracker``,
+  anything exposing ``state_dict``/``load_state_dict``).
+
+The capture functions never mutate what they read; the restore functions
+write in-place so live references (optimizer → parameters, meters →
+parameters) stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+
+__all__ = [
+    "TrainingState",
+    "capture_state",
+    "restore_state",
+    "named_rngs",
+    "rng_state",
+    "set_rng_state",
+]
+
+
+def rng_state(generator: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a Generator's bit-generator state."""
+    return generator.bit_generator.state
+
+
+def set_rng_state(generator: np.random.Generator, state: dict) -> None:
+    generator.bit_generator.state = state
+
+
+def named_rngs(module: Module, prefix: str = "") -> list[tuple[str, np.random.Generator]]:
+    """Every ``numpy.random.Generator`` attribute in the module tree, with
+    dotted names, deduplicated by object identity (attention layers share
+    their dropout's generator; it must be restored exactly once)."""
+    found: list[tuple[str, np.random.Generator]] = []
+    seen: set[int] = set()
+    _walk_rngs(module, prefix, found, seen)
+    return found
+
+
+def _walk_rngs(module: Module, prefix: str, found: list, seen: set) -> None:
+    for name, value in vars(module).items():
+        if isinstance(value, np.random.Generator) and id(value) not in seen:
+            seen.add(id(value))
+            found.append((f"{prefix}{name}", value))
+    for name, child in module._modules.items():
+        _walk_rngs(child, f"{prefix}{name}.", found, seen)
+
+
+@dataclass
+class TrainingState:
+    """Complete restartable image of a training loop at a batch boundary."""
+
+    epoch: int = 0
+    batch_in_epoch: int = 0          # batches already consumed this epoch
+    global_step: int = 0
+    loader_rng: dict | None = None   # loop RNG as of the start of `epoch`
+    model_rngs: dict[str, dict] = field(default_factory=dict)
+    model_state: dict[str, np.ndarray] = field(default_factory=dict)
+    optimizer_state: dict = field(default_factory=dict)
+    epoch_sums: dict[str, float] = field(default_factory=dict)
+    epoch_batches: int = 0           # batches that contributed to epoch_sums
+    epoch_samples: int = 0
+    history: list[dict[str, float]] = field(default_factory=list)
+    extra: dict[str, dict] = field(default_factory=dict)
+
+    def meta(self) -> dict:
+        """The JSON-side half of the state (everything but the arrays)."""
+        return {
+            "epoch": self.epoch,
+            "batch_in_epoch": self.batch_in_epoch,
+            "global_step": self.global_step,
+            "loader_rng": self.loader_rng,
+            "model_rngs": self.model_rngs,
+            "epoch_sums": self.epoch_sums,
+            "epoch_batches": self.epoch_batches,
+            "epoch_samples": self.epoch_samples,
+            "history": self.history,
+            "extra": self.extra,
+        }
+
+
+def capture_state(model: Module, optimizer: Optimizer | None = None,
+                  loader_rng_state: dict | None = None,
+                  epoch: int = 0, batch_in_epoch: int = 0,
+                  global_step: int = 0,
+                  epoch_sums: dict[str, float] | None = None,
+                  epoch_batches: int = 0,
+                  epoch_samples: int = 0,
+                  history: list[dict[str, float]] | None = None,
+                  extra: dict | None = None) -> TrainingState:
+    """Snapshot everything needed to resume bit-identically.
+
+    ``extra`` maps names to objects exposing ``state_dict()`` (e.g.
+    ``EarlyStopping``/``MetricTracker``); their snapshots ride along in
+    the checkpoint and are restored by passing the same mapping to
+    :func:`restore_state`.
+    """
+    return TrainingState(
+        epoch=epoch,
+        batch_in_epoch=batch_in_epoch,
+        global_step=global_step,
+        loader_rng=loader_rng_state,
+        model_rngs={name: rng_state(gen) for name, gen in named_rngs(model)},
+        model_state=model.state_dict(),
+        optimizer_state=optimizer.state_dict() if optimizer is not None else {},
+        epoch_sums=dict(epoch_sums or {}),
+        epoch_batches=epoch_batches,
+        epoch_samples=epoch_samples,
+        history=[dict(record) for record in (history or [])],
+        extra={name: obj.state_dict() for name, obj in (extra or {}).items()},
+    )
+
+
+def restore_state(state: TrainingState, model: Module,
+                  optimizer: Optimizer | None = None,
+                  loader_rng: np.random.Generator | None = None,
+                  extra: dict | None = None) -> None:
+    """Write a captured state back into live objects, in place."""
+    model.load_state_dict(state.model_state, strict=True)
+    live_rngs = dict(named_rngs(model))
+    missing = set(state.model_rngs) - set(live_rngs)
+    if missing:
+        raise ValueError(f"checkpoint RNG state has no live generator for "
+                         f"{sorted(missing)} — model architecture changed?")
+    for name, rng_snapshot in state.model_rngs.items():
+        set_rng_state(live_rngs[name], rng_snapshot)
+    if optimizer is not None and state.optimizer_state:
+        optimizer.load_state_dict(state.optimizer_state)
+    if loader_rng is not None and state.loader_rng is not None:
+        set_rng_state(loader_rng, state.loader_rng)
+    for name, obj in (extra or {}).items():
+        if name in state.extra:
+            obj.load_state_dict(state.extra[name])

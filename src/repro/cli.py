@@ -6,8 +6,10 @@ Examples::
     python -m repro table5 --scale default --output results/
     python -m repro fig6 --scale smoke
     python -m repro profile --steps 20 --sort-by self_s
+    python -m repro table3 --datasets ETTh1 --checkpoint results/ckpt --resume
     python -m repro runs list
     python -m repro runs show 20260806-120301-a1b2c3 --svg losses.svg
+    python -m repro runs resume 20260806-120301-a1b2c3
     python -m repro runs diff <run_a> <run_b>
     python -m repro list
 """
@@ -50,21 +52,35 @@ _CLASS_DATASETS = ("FingerMovements", "PenDigits", "HAR", "Epilepsy", "WISDM")
 _DEFAULT_RUN_ROOT = pathlib.Path("results/runs")
 
 
+def _checkpoint_from_args(args):
+    """Build a CheckpointConfig from ``--checkpoint``/``--resume`` flags
+    (``None`` when neither is given — checkpointing stays off)."""
+    from .checkpoint import CheckpointConfig
+
+    directory = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if directory is None and not resume:
+        return None
+    return CheckpointConfig(directory=str(directory) if directory else None,
+                            resume=resume)
+
+
 def _run_table3(args, preset, run=NULL_RUN):
     return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
                              univariate=False, preset=preset, seed=args.seed,
-                             run=run)
+                             run=run, checkpoint=_checkpoint_from_args(args))
 
 
 def _run_table4(args, preset, run=NULL_RUN):
     return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
                              univariate=True, preset=preset, seed=args.seed,
-                             run=run)
+                             run=run, checkpoint=_checkpoint_from_args(args))
 
 
 def _run_table5(args, preset, run=NULL_RUN):
     return classification_table(datasets=tuple(args.datasets or _CLASS_DATASETS),
-                                preset=preset, seed=args.seed, run=run)
+                                preset=preset, seed=args.seed, run=run,
+                                checkpoint=_checkpoint_from_args(args))
 
 
 def _run_table6(args, preset, run=NULL_RUN):
@@ -187,6 +203,39 @@ _MANIFEST_SHOW_FIELDS = ("run_id", "name", "status", "created_at", "finished_at"
 _EPOCH_HIDE_KEYS = ("type", "seq", "time")
 
 
+def _checkpoint_directories(run_dir) -> list[pathlib.Path]:
+    """The run's checkpoint directory plus one level of phase/task
+    subdirectories (transfer phases, fine-tuning tasks)."""
+    root = pathlib.Path(run_dir) / "checkpoints"
+    if not root.is_dir():
+        return []
+    candidates = [root] + sorted(p for p in root.iterdir() if p.is_dir())
+    return [p for p in candidates
+            if (p / "index.json").is_file() or any(p.glob("ckpt-*.npz"))]
+
+
+def _show_checkpoints(run_dir) -> None:
+    from .checkpoint import CheckpointManager
+
+    root = pathlib.Path(run_dir) / "checkpoints"
+    for directory in _checkpoint_directories(run_dir):
+        entries = CheckpointManager(directory).inventory()
+        if not entries:
+            continue
+        label = directory.relative_to(root.parent)
+        console_log("")
+        console_log(f"checkpoints ({label}):")
+        last_step = max(entry.step for entry in entries)
+        for entry in entries:
+            markers = " ".join(name for name, hit in
+                               (("best", entry.is_best),
+                                ("last", entry.step == last_step)) if hit)
+            console_log(
+                f"  {entry.path.name}  step={entry.step:<6} "
+                f"epoch={entry.epoch:<4} size={entry.size_bytes / 1024:.1f}KiB  "
+                f"sha256={entry.sha256[:12]}  {markers}")
+
+
 def _runs_show(args) -> int:
     run = find_run(args.run_id, args.root)
     console_log(f"# Run {run.run_id}")
@@ -218,6 +267,7 @@ def _runs_show(args) -> int:
         console_log("")
         console_log("summary: " + " ".join(
             f"{k}={_format_value(v)}" for k, v in sorted(summary.items())))
+    _show_checkpoints(run.directory)
     if args.svg is not None:
         loss_curve_svg(run, args.svg)
         console_log(f"wrote {args.svg}")
@@ -254,8 +304,57 @@ def _runs_tail(args) -> int:
     return 0
 
 
+def _runs_resume(args) -> int:
+    """``repro runs resume`` — restart pre-training from a run's newest
+    valid checkpoint (corrupt ones are skipped with a warning)."""
+    from .checkpoint import CheckpointManager
+    from .core.config import PretrainConfig, TimeDRLConfig
+    from .core.pretrain import pretrain
+    from .data import materialize_data_spec
+
+    as_path = pathlib.Path(args.run_id)
+    if as_path.is_dir() and any(as_path.glob("ckpt-*.npz")):
+        # A checkpoint directory given directly (e.g. from an experiment's
+        # --checkpoint DIR) works too.
+        ckpt_dir, label = as_path, str(as_path)
+    else:
+        run = find_run(args.run_id, args.root)
+        ckpt_dir, label = pathlib.Path(run.directory) / "checkpoints", run.run_id
+        if not ckpt_dir.is_dir():
+            raise ValueError(f"run {run.run_id} has no checkpoints directory "
+                             f"(was it trained with PretrainConfig(checkpoint=...)?)")
+    loaded = CheckpointManager(ckpt_dir).load_latest()
+    if loaded is None:
+        raise ValueError(f"no valid checkpoint under {ckpt_dir}")
+    state, meta = loaded
+    model_cfg = meta.get("model_config")
+    train_cfg = meta.get("train_config")
+    data_spec = meta.get("data_spec")
+    if not (model_cfg and train_cfg and data_spec):
+        raise ValueError(
+            "checkpoint lacks self-describing metadata (model_config/"
+            "train_config/data_spec); resume from the original script with "
+            "CheckpointConfig(resume=True) instead")
+    console_log(f"resuming {label} from step {state.global_step} "
+                f"(epoch {state.epoch}, batch {state.batch_in_epoch})")
+    train_dict = dict(train_cfg)
+    ckpt_dict = dict(train_dict.get("checkpoint") or {})
+    ckpt_dict["directory"] = str(ckpt_dir)
+    ckpt_dict["resume"] = True
+    train_dict["checkpoint"] = ckpt_dict
+    result = pretrain(TimeDRLConfig(**model_cfg),
+                      materialize_data_spec(data_spec),
+                      PretrainConfig(**train_dict))
+    console_log(f"resume complete: epochs={len(result.history)} "
+                f"final_total={result.final_loss:.4f}")
+    if result.run_id is not None:
+        console_log(f"recorded as run {result.run_id}")
+    return 0
+
+
 _RUNS_COMMANDS = {"list": _runs_list, "show": _runs_show,
-                  "diff": _runs_diff, "tail": _runs_tail}
+                  "diff": _runs_diff, "tail": _runs_tail,
+                  "resume": _runs_resume}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,7 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     runs_tail = runs_sub.add_parser("tail", help="print a run's last events")
     runs_tail.add_argument("run_id")
     runs_tail.add_argument("-n", "--count", type=int, default=20)
-    for runs_cmd in (runs_list, runs_show, runs_diff, runs_tail):
+    runs_resume = runs_sub.add_parser(
+        "resume", help="restart pre-training from a run's newest valid "
+                       "checkpoint (or from a checkpoint directory)")
+    runs_resume.add_argument("run_id", help="run id, unique prefix, run "
+                                            "directory, or checkpoint directory")
+    for runs_cmd in (runs_list, runs_show, runs_diff, runs_tail, runs_resume):
         runs_cmd.add_argument("--root", type=pathlib.Path,
                               default=_DEFAULT_RUN_ROOT,
                               help="run directory root (default results/runs)")
@@ -317,6 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
         exp.add_argument("--run-root", type=pathlib.Path,
                          default=_DEFAULT_RUN_ROOT,
                          help="where --telemetry writes the run directory")
+        if name in ("table3", "table4", "table5"):
+            exp.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                             metavar="DIR",
+                             help="checkpoint TimeDRL pre-training under DIR "
+                                  "(one subdirectory per dataset)")
+            exp.add_argument("--resume", action="store_true",
+                             help="resume TimeDRL pre-training from the "
+                                  "newest valid checkpoint under the "
+                                  "--checkpoint directory")
     return parser
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..checkpoint.config import CheckpointConfig
+
 __all__ = ["TimeDRLConfig", "PretrainConfig"]
 
 _BACKBONES = ("transformer", "transformer_decoder", "resnet", "tcn", "lstm", "bilstm", "gru")
@@ -87,6 +89,11 @@ class PretrainConfig:
     run_name: str | None = None  # human label folded into the run id
     log_every: int = 1           # per-step metric cadence (0 = epochs only)
     seed: int = 0
+    # Fault tolerance: None disables checkpointing/recovery entirely (the
+    # training trajectory stays bit-identical to the uninstrumented loop).
+    # Accepts a CheckpointConfig, True (defaults), or a dict of its fields
+    # (how it round-trips through JSON run manifests).
+    checkpoint: CheckpointConfig | None = None
 
     def __post_init__(self):
         if self.epochs < 1 or self.batch_size < 1:
@@ -95,3 +102,11 @@ class PretrainConfig:
             raise ValueError("learning_rate must be positive")
         if self.log_every < 0:
             raise ValueError("log_every must be >= 0")
+        if self.checkpoint is True:
+            self.checkpoint = CheckpointConfig()
+        elif isinstance(self.checkpoint, dict):
+            self.checkpoint = CheckpointConfig(**self.checkpoint)
+        elif self.checkpoint is not None and not isinstance(self.checkpoint,
+                                                            CheckpointConfig):
+            raise ValueError("checkpoint must be None, True, a dict, or a "
+                             "CheckpointConfig")

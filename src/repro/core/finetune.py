@@ -18,11 +18,19 @@ the paper's use of instance normalisation + PatchTST conventions.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from .. import nn
+from ..checkpoint import (
+    CheckpointConfig,
+    CheckpointManager,
+    capture_state,
+    restore_state,
+    rng_state,
+)
 from ..data.datasets import ClassificationData, ForecastingData, ForecastingWindows
 from ..data.loader import batch_indices
 from ..evaluation import metrics
@@ -132,6 +140,95 @@ def linear_evaluate_classification(model: TimeDRL, data: ClassificationData,
 # ----------------------------------------------------------------------
 # Fine-tuning (semi-supervised protocol, Fig. 5)
 # ----------------------------------------------------------------------
+class _CheckpointBundle(nn.Module):
+    """Wraps the encoder model and task head as one module tree so their
+    parameters serialize into a single checkpoint state-dict."""
+
+    def __init__(self, model: TimeDRL, head: nn.Module):
+        super().__init__()
+        self.model = model
+        self.head = head
+
+
+class _OptimizerPair:
+    """Checkpoint adapter presenting the head/encoder optimizer duo as one
+    object following the ``Optimizer.state_dict`` conventions (top-level
+    ``slots`` mapping names to array lists) so it packs into checkpoint
+    archives unchanged."""
+
+    def __init__(self, head: nn.Optimizer, encoder: nn.Optimizer):
+        self.head = head
+        self.encoder = encoder
+
+    def state_dict(self) -> dict:
+        head, encoder = self.head.state_dict(), self.encoder.state_dict()
+        slots: dict[str, list] = {}
+        for prefix, part in (("head", head), ("encoder", encoder)):
+            for name, arrays in part.pop("slots").items():
+                slots[f"{prefix}.{name}"] = arrays
+        return {"type": "Pair", "lr": head["lr"],
+                "param_shapes": head["param_shapes"] + encoder["param_shapes"],
+                "head": head, "encoder": encoder, "slots": slots}
+
+    def load_state_dict(self, state: dict) -> None:
+        for prefix, optimizer in (("head", self.head),
+                                  ("encoder", self.encoder)):
+            part = dict(state[prefix])
+            part["param_shapes"] = [tuple(shape)
+                                    for shape in part["param_shapes"]]
+            if "betas" in part:
+                part["betas"] = tuple(part["betas"])
+            part["slots"] = {
+                name.split(".", 1)[1]: arrays
+                for name, arrays in state["slots"].items()
+                if name.startswith(f"{prefix}.")}
+            optimizer.load_state_dict(part)
+
+
+def _finetune_checkpoint_dir(checkpoint: CheckpointConfig, run,
+                             task: str) -> pathlib.Path:
+    if checkpoint.directory:
+        return pathlib.Path(checkpoint.directory)
+    if getattr(run, "directory", None):
+        return pathlib.Path(run.directory) / "checkpoints" / task
+    return pathlib.Path("results/checkpoints") / task
+
+
+def _finetune_checkpointing(checkpoint: CheckpointConfig | None, run, task,
+                            bundle, pair, rng):
+    """Open a manager and resume from the newest valid checkpoint if asked.
+
+    Returns ``(manager, start_epoch)``; fine-tuning checkpoints at epoch
+    boundaries, so the cursor is just the epoch count.  Restoring the
+    loader RNG (drawn from sequentially each epoch) plus parameters and
+    both optimizers makes the remaining epochs bit-identical.
+    """
+    if checkpoint is None:
+        return None, 0
+    manager = CheckpointManager(
+        _finetune_checkpoint_dir(checkpoint, run, task),
+        keep_last=checkpoint.keep_last, best_metric="loss", best_mode="min")
+    start_epoch = 0
+    if checkpoint.resume:
+        loaded = manager.load_latest()
+        if loaded is not None:
+            state, __ = loaded
+            restore_state(state, bundle, optimizer=pair, loader_rng=rng)
+            start_epoch = state.epoch
+    return manager, start_epoch
+
+
+def _finetune_save(manager, run, task: str, bundle, pair, rng,
+                   epoch: int, mean_loss: float) -> None:
+    state = capture_state(bundle, pair, loader_rng_state=rng_state(rng),
+                          epoch=epoch + 1, global_step=epoch + 1)
+    info = manager.save(state, metrics={"loss": mean_loss})
+    if run.enabled:
+        run.emit("checkpoint", action="saved", phase=task, step=info.step,
+                 epoch=epoch + 1, file=info.path.name, sha256=info.sha256,
+                 size_bytes=info.size_bytes, best=info.is_best)
+
+
 class ForecastHead(nn.Module):
     """Linear head mapping flattened timestamp embeddings to the horizon."""
 
@@ -156,7 +253,9 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                           batch_size: int = 32, lr: float = 1e-3,
                           encoder_lr_scale: float = 0.1,
                           seed: int = 0, profile: bool = False,
-                          run=None) -> ForecastResult:
+                          run=None,
+                          checkpoint: CheckpointConfig | None = None
+                          ) -> ForecastResult:
     """Fig. 5 'TimeDRL (FT)': encoder + head trained on labelled windows.
 
     The encoder learns at ``lr * encoder_lr_scale`` — the usual fine-tuning
@@ -168,6 +267,10 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
     keeps ownership): per-epoch mean loss, span traces and the final test
     metrics are recorded; omitted, the loop is bit-identical to the
     uninstrumented path.
+
+    ``checkpoint`` optionally saves the model+head+optimizer state at
+    epoch boundaries (and with ``resume=True`` restarts from the newest
+    valid checkpoint, bit-identically at epoch granularity).
     """
     run = NULL_RUN if run is None else run
     rng = np.random.default_rng(seed)
@@ -180,10 +283,15 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
     encoder_optimizer = nn.AdamW(model.encoder.parameters(),
                                  lr=lr * encoder_lr_scale, weight_decay=1e-3)
     labelled = _label_subset(len(data.train), label_fraction, rng)
+    bundle = _CheckpointBundle(model, head)
+    pair = _OptimizerPair(optimizer, encoder_optimizer)
+    manager, start_epoch = _finetune_checkpointing(
+        checkpoint, run, "finetune_forecasting", bundle, pair, rng)
+    track_loss = run.enabled or manager is not None
 
     if profile:
         _profiler.enable()
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         loss_sum, loss_batches = 0.0, 0
         with run.span("finetune_epoch", task="forecasting", index=epoch):
             for batch in batch_indices(len(labelled), batch_size, rng):
@@ -211,12 +319,17 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                 grad_norm = nn.clip_grad_norm(params, 5.0)
                 optimizer.step()
                 encoder_optimizer.step()
-                if run.enabled:
+                if track_loss:
                     loss_sum += float(loss.data)
                     loss_batches += 1
         if run.enabled and loss_batches:
             run.log_epoch(epoch, loss=loss_sum / loss_batches,
                           grad_norm=grad_norm, task="finetune_forecasting")
+        if manager is not None and ((epoch + 1) % checkpoint.every_n_epochs == 0
+                                    or epoch + 1 == epochs):
+            mean_loss = loss_sum / loss_batches if loss_batches else float("nan")
+            _finetune_save(manager, run, "finetune_forecasting", bundle, pair,
+                           rng, epoch, mean_loss)
     profile_stats = None
     if profile:
         _profiler.disable()
@@ -257,7 +370,9 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                              batch_size: int = 32, lr: float = 1e-3,
                              encoder_lr_scale: float = 0.1,
                              seed: int = 0, profile: bool = False,
-                             run=None) -> ClassificationResult:
+                             run=None,
+                             checkpoint: CheckpointConfig | None = None
+                             ) -> ClassificationResult:
     """Fig. 5 classification fine-tuning; see :func:`fine_tune_forecasting`."""
     run = NULL_RUN if run is None else run
     rng = np.random.default_rng(seed)
@@ -270,12 +385,17 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
     encoder_optimizer = nn.AdamW(model.encoder.parameters(),
                                  lr=lr * encoder_lr_scale, weight_decay=1e-3)
     labelled = _label_subset(len(data.x_train), label_fraction, rng)
+    bundle = _CheckpointBundle(model, head)
+    pair = _OptimizerPair(optimizer, encoder_optimizer)
+    manager, start_epoch = _finetune_checkpointing(
+        checkpoint, run, "finetune_classification", bundle, pair, rng)
+    track_loss = run.enabled or manager is not None
 
     from .pooling import pool_instance
 
     if profile:
         _profiler.enable()
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         loss_sum, loss_batches = 0.0, 0
         with run.span("finetune_epoch", task="classification", index=epoch):
             for batch in batch_indices(len(labelled), batch_size, rng):
@@ -292,12 +412,17 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                 grad_norm = nn.clip_grad_norm(params, 5.0)
                 optimizer.step()
                 encoder_optimizer.step()
-                if run.enabled:
+                if track_loss:
                     loss_sum += float(loss.data)
                     loss_batches += 1
         if run.enabled and loss_batches:
             run.log_epoch(epoch, loss=loss_sum / loss_batches,
                           grad_norm=grad_norm, task="finetune_classification")
+        if manager is not None and ((epoch + 1) % checkpoint.every_n_epochs == 0
+                                    or epoch + 1 == epochs):
+            mean_loss = loss_sum / loss_batches if loss_batches else float("nan")
+            _finetune_save(manager, run, "finetune_classification", bundle,
+                           pair, rng, epoch, mean_loss)
     profile_stats = None
     if profile:
         _profiler.disable()

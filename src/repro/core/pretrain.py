@@ -7,20 +7,41 @@ Works for both task families:
 
 Observability: pass ``PretrainConfig(telemetry=True)`` (or an explicit
 ``run=``) to record the run — manifest, per-step/per-epoch metrics, span
-traces and health events — under ``results/runs/<run_id>/``.  With
-telemetry off the loop is bit-identical to the uninstrumented original:
-no derived metrics are computed, no clocks beyond the wall-clock total
-are read, and no files are touched.
+traces and health events — under ``results/runs/<run_id>/``.
+
+Fault tolerance: pass ``PretrainConfig(checkpoint=CheckpointConfig(...))``
+to checkpoint the complete training state (model, optimizer, RNGs, batch
+cursor, history) at epoch and/or batch boundaries and to escalate health
+findings into recovery actions (skip-batch, rollback-with-LR-backoff,
+bounded abort).  Resume is bit-identical: a run killed at any batch
+boundary and resumed from its last checkpoint produces exactly the same
+parameters and losses as an uninterrupted run (see
+``tests/checkpoint/test_resume_exact.py``).
+
+With telemetry and checkpointing both off the loop is bit-identical to
+the uninstrumented original: no derived metrics are computed, no clocks
+beyond the wall-clock total are read, and no files are touched.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import nn
+from ..checkpoint import (
+    CheckpointManager,
+    RecoveryController,
+    TrainingAborted,
+    TrainingState,
+    capture_state,
+    restore_state,
+    rng_state,
+)
 from ..data.datasets import ForecastingWindows
 from ..data.loader import batch_indices
 from ..nn import profiler
@@ -42,6 +63,8 @@ class PretrainResult:
     profile: dict[str, dict[str, float]] | None = None  # op stats when profiled
     run_id: str | None = None   # telemetry run id (when enabled)
     run_dir: str | None = None  # telemetry run directory (when enabled)
+    checkpoint_dir: str | None = None    # where checkpoints were written
+    resumed_from_step: int | None = None  # global step a resume started at
 
     @property
     def final_loss(self) -> float:
@@ -49,14 +72,22 @@ class PretrainResult:
 
 
 def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
-                             max_batches: int | None = None):
+                             max_batches: int | None = None, skip: int = 0):
     """Yield raw input batches ``(B, T, C)`` from either a
-    :class:`ForecastingWindows` split or a plain sample array."""
+    :class:`ForecastingWindows` split or a plain sample array.
+
+    ``skip`` drops the first N batches of the epoch *without fetching
+    them* — the index permutation is still drawn identically from ``rng``,
+    so a resumed epoch sees exactly the batches the interrupted one would
+    have.  Skipped batches count against ``max_batches`` (they were
+    already consumed before the interruption).
+    """
     if isinstance(data, ForecastingWindows):
         count = 0
         for indices in batch_indices(len(data), batch_size, rng):
-            x, __ = data.batch(indices)
-            yield x
+            if count >= skip:
+                x, __ = data.batch(indices)
+                yield x
             count += 1
             if max_batches is not None and count >= max_batches:
                 return
@@ -64,7 +95,8 @@ def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
         samples = np.asarray(data)
         count = 0
         for indices in batch_indices(len(samples), batch_size, rng):
-            yield samples[indices]
+            if count >= skip:
+                yield samples[indices]
             count += 1
             if max_batches is not None and count >= max_batches:
                 return
@@ -73,72 +105,6 @@ def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
 def _profiler_alloc_bytes() -> float:
     """Cumulative bytes the op profiler has attributed so far."""
     return float(sum(stat["bytes"] for stat in profiler.snapshot().values()))
-
-
-def _train_epochs(model, optimizer, data, train_config, rng, run,
-                  history: list[dict[str, float]]) -> None:
-    telemetry_on = run.enabled
-    meter = ParamUpdateMeter(model.parameters()) if telemetry_on else None
-    epoch_timer = Timer(accumulate=True) if telemetry_on else None
-    profiling = train_config.profile
-    alloc_before = _profiler_alloc_bytes() if (telemetry_on and profiling) else 0.0
-    global_step = 0
-
-    for epoch in range(train_config.epochs):
-        sums = {"total": 0.0, "predictive": 0.0, "contrastive": 0.0}
-        batches = 0
-        samples = 0
-        with run.span("epoch", index=epoch), (epoch_timer or _NULL_CTX):
-            for x in iterate_pretrain_batches(data, train_config.batch_size, rng,
-                                              train_config.max_batches_per_epoch):
-                optimizer.zero_grad()
-                losses = model.pretraining_losses(x)
-                losses["total"].backward()
-                grad_norm = None
-                if train_config.grad_clip:
-                    grad_norm = nn.clip_grad_norm(model.parameters(),
-                                                  train_config.grad_clip)
-                log_step = (telemetry_on and train_config.log_every
-                            and global_step % train_config.log_every == 0)
-                if log_step:
-                    if grad_norm is None:
-                        grad_norm = grad_global_norm(model.parameters())
-                    meter.snapshot()
-                optimizer.step()
-                for key in sums:
-                    sums[key] += float(losses[key].data)
-                if log_step:
-                    run.log_step(global_step,
-                                 total=float(losses["total"].data),
-                                 predictive=float(losses["predictive"].data),
-                                 contrastive=float(losses["contrastive"].data),
-                                 grad_norm=grad_norm,
-                                 update_ratio=meter.ratio())
-                batches += 1
-                samples += len(x)
-                global_step += 1
-        if batches == 0:
-            raise ValueError("pre-training data yielded no batches")
-        epoch_stats = {key: value / batches for key, value in sums.items()}
-        epoch_stats["epoch"] = float(epoch)
-        history.append(epoch_stats)
-        if telemetry_on:
-            seconds = epoch_timer.last
-            epoch_metrics = {key: epoch_stats[key] for key in sums}
-            epoch_metrics["epoch_seconds"] = seconds
-            epoch_metrics["samples"] = samples
-            if seconds > 0:
-                epoch_metrics["throughput"] = samples / seconds
-            if profiling:
-                alloc_now = _profiler_alloc_bytes()
-                epoch_metrics["alloc_mb"] = (alloc_now - alloc_before) / 1e6
-                alloc_before = alloc_now
-            run.log_epoch(epoch, **epoch_metrics)
-        if train_config.verbose:
-            console_log(f"[pretrain] epoch {epoch}: "
-                        f"total={epoch_stats['total']:.4f} "
-                        f"P={epoch_stats['predictive']:.4f} "
-                        f"C={epoch_stats['contrastive']:.4f}")
 
 
 class _NullContext:
@@ -154,9 +120,260 @@ class _NullContext:
 _NULL_CTX = _NullContext()
 
 
+class _Rollback(Exception):
+    """Internal signal: restore the last checkpoint and continue."""
+
+
+class _PretrainLoop:
+    """The resumable pre-training loop.
+
+    Cursor model: ``(epoch, batch_in_epoch, global_step)`` plus the loader
+    RNG state *as of the start of the current epoch*.  ``batch_indices``
+    draws one shuffle permutation per epoch from the loader RNG, so
+    restoring the epoch-start state and skipping ``batch_in_epoch``
+    batches replays the interrupted epoch bit-identically.
+    """
+
+    def __init__(self, model, optimizer, data, train_config, rng, run,
+                 history: list[dict[str, float]], manager=None,
+                 recovery=None, hooks=None, extra_meta=None):
+        self.model = model
+        self.optimizer = optimizer
+        self.data = data
+        self.train_config = train_config
+        self.rng = rng
+        self.run = run
+        self.history = history
+        self.manager = manager
+        self.recovery = recovery
+        self.hooks = hooks
+        self.extra_meta = extra_meta
+        ckpt = train_config.checkpoint
+        self.every_n_batches = ckpt.every_n_batches if ckpt else None
+        self.every_n_epochs = ckpt.every_n_epochs if ckpt else 1
+        # cursor
+        self.epoch = 0
+        self.start_batch = 0      # batches to skip when (re)entering the epoch
+        self.global_step = 0
+        self.pending = None       # (sums, batches, samples) restored mid-epoch
+        self.epoch_rng_state = None
+        # telemetry instruments (built in run_all, after any resume)
+        self.meter = None
+        self.epoch_timer = None
+
+    # -- state transfer -------------------------------------------------
+    def apply_state(self, state: TrainingState) -> None:
+        """Adopt a checkpointed state: used for both resume and rollback."""
+        restore_state(state, self.model, self.optimizer, loader_rng=self.rng)
+        self.epoch = state.epoch
+        self.start_batch = state.batch_in_epoch
+        self.global_step = state.global_step
+        self.history[:] = [dict(record) for record in state.history]
+        if state.batch_in_epoch > 0:
+            self.pending = (dict(state.epoch_sums), state.epoch_batches,
+                            state.epoch_samples)
+        else:
+            self.pending = None
+
+    def _save(self, batch_in_epoch: int, sums, batches: int, samples: int,
+              metrics=None, at_epoch_start: bool = False) -> None:
+        loader = rng_state(self.rng) if at_epoch_start else self.epoch_rng_state
+        state = capture_state(
+            self.model, self.optimizer, loader_rng_state=loader,
+            epoch=self.epoch, batch_in_epoch=batch_in_epoch,
+            global_step=self.global_step, epoch_sums=sums,
+            epoch_batches=batches, epoch_samples=samples,
+            history=self.history)
+        info = self.manager.save(state, metrics=metrics,
+                                 extra_meta=self.extra_meta)
+        if self.run.enabled:
+            self.run.emit("checkpoint", action="saved", step=info.step,
+                          epoch=self.epoch, batch=batch_in_epoch,
+                          file=info.path.name, sha256=info.sha256,
+                          size_bytes=info.size_bytes, best=info.is_best)
+
+    def _rollback(self) -> None:
+        loaded = self.manager.load_latest() if self.manager is not None else None
+        if loaded is None:
+            raise TrainingAborted(
+                "rollback requested but no valid checkpoint is available",
+                recoveries=self.recovery.recoveries if self.recovery else 0)
+        state, __ = loaded
+        self.apply_state(state)
+        # Cumulative LR backoff: the restored checkpoint carries the LR it
+        # was saved with, so scale by backoff**rollbacks to keep repeated
+        # rollbacks to the same checkpoint making progress downward.
+        self.optimizer.lr = self.optimizer.lr * self.recovery.lr_scale()
+        if self.run.enabled:
+            self.run.emit("recovery", action="rollback_restored",
+                          step=state.global_step, epoch=state.epoch,
+                          batch=state.batch_in_epoch,
+                          lr=float(self.optimizer.lr),
+                          recoveries=self.recovery.recoveries)
+        if self.train_config.verbose:
+            console_log(f"[pretrain] rolled back to step {state.global_step} "
+                        f"(epoch {state.epoch}, batch {state.batch_in_epoch}), "
+                        f"lr={self.optimizer.lr:.2e}")
+
+    # -- driving --------------------------------------------------------
+    def run_all(self) -> None:
+        cfg = self.train_config
+        telemetry_on = self.run.enabled
+        self.meter = ParamUpdateMeter(self.model.parameters()) if telemetry_on else None
+        self.epoch_timer = Timer(accumulate=True) if telemetry_on else None
+        self._profiling = telemetry_on and cfg.profile
+        self._alloc_before = _profiler_alloc_bytes() if self._profiling else 0.0
+        if (self.manager is not None and cfg.checkpoint.wants_rollback
+                and self.global_step == 0):
+            # Rollback needs a floor to land on even if the very first
+            # batches go bad: checkpoint the untrained state.
+            self.epoch_rng_state = rng_state(self.rng)
+            self._save(0, {}, 0, 0, at_epoch_start=True)
+        while self.epoch < cfg.epochs:
+            try:
+                self._run_epoch()
+            except _Rollback:
+                self._rollback()
+
+    def _run_epoch(self) -> None:
+        cfg = self.train_config
+        telemetry_on = self.run.enabled
+        epoch = self.epoch
+        skip = self.start_batch
+        self.start_batch = 0
+        if self.manager is not None:
+            # On a fresh epoch this is the epoch-start state; on a resumed
+            # epoch apply_state already rewound the loader RNG to it.
+            self.epoch_rng_state = rng_state(self.rng)
+        if self.pending is not None:
+            sums, batches, samples = self.pending
+            self.pending = None
+        else:
+            sums = {"total": 0.0, "predictive": 0.0, "contrastive": 0.0}
+            batches = 0
+            samples = 0
+        batch_in_epoch = skip
+
+        with self.run.span("epoch", index=epoch), (self.epoch_timer or _NULL_CTX):
+            for x in iterate_pretrain_batches(self.data, cfg.batch_size,
+                                              self.rng,
+                                              cfg.max_batches_per_epoch,
+                                              skip=skip):
+                step = self.global_step
+                self.optimizer.zero_grad()
+                losses = self.model.pretraining_losses(x)
+                if self.hooks is not None:
+                    self.hooks.on_loss(losses, epoch, batch_in_epoch, step)
+                if self.recovery is not None:
+                    action = self.recovery.check_loss(
+                        float(losses["total"].data), epoch, batch_in_epoch,
+                        step)
+                    if action == "skip_batch":
+                        batch_in_epoch += 1
+                        self.global_step += 1
+                        continue
+                    if action == "rollback":
+                        raise _Rollback()
+                losses["total"].backward()
+                if self.hooks is not None:
+                    self.hooks.on_after_backward(self.model, epoch,
+                                                 batch_in_epoch, step)
+                grad_norm = None
+                if cfg.grad_clip:
+                    grad_norm = nn.clip_grad_norm(self.model.parameters(),
+                                                  cfg.grad_clip)
+                if self.recovery is not None:
+                    norm_value = (grad_norm if grad_norm is not None
+                                  else grad_global_norm(self.model.parameters()))
+                    action = self.recovery.check_grad(float(norm_value), epoch,
+                                                      batch_in_epoch, step)
+                    if action == "skip_batch":
+                        batch_in_epoch += 1
+                        self.global_step += 1
+                        continue
+                    if action == "rollback":
+                        raise _Rollback()
+                log_step = (telemetry_on and cfg.log_every
+                            and step % cfg.log_every == 0)
+                if log_step:
+                    if grad_norm is None:
+                        grad_norm = grad_global_norm(self.model.parameters())
+                    self.meter.snapshot()
+                self.optimizer.step()
+                for key in sums:
+                    sums[key] += float(losses[key].data)
+                if log_step:
+                    self.run.log_step(step,
+                                      total=float(losses["total"].data),
+                                      predictive=float(losses["predictive"].data),
+                                      contrastive=float(losses["contrastive"].data),
+                                      grad_norm=grad_norm,
+                                      update_ratio=self.meter.ratio())
+                batches += 1
+                samples += len(x)
+                batch_in_epoch += 1
+                self.global_step += 1
+                if (self.manager is not None and self.every_n_batches
+                        and batch_in_epoch % self.every_n_batches == 0):
+                    means = {key: value / batches for key, value in sums.items()}
+                    self._save(batch_in_epoch, sums, batches, samples,
+                               metrics=means)
+                if self.hooks is not None:
+                    self.hooks.on_batch_end(epoch, batch_in_epoch - 1, step)
+
+        if batches == 0:
+            raise ValueError("pre-training data yielded no batches")
+        epoch_stats = {key: value / batches for key, value in sums.items()}
+        epoch_stats["epoch"] = float(epoch)
+        self.history.append(epoch_stats)
+        if telemetry_on:
+            seconds = self.epoch_timer.last
+            epoch_metrics = {key: epoch_stats[key] for key in sums}
+            epoch_metrics["epoch_seconds"] = seconds
+            epoch_metrics["samples"] = samples
+            if seconds > 0:
+                epoch_metrics["throughput"] = samples / seconds
+            if self._profiling:
+                alloc_now = _profiler_alloc_bytes()
+                epoch_metrics["alloc_mb"] = (alloc_now - self._alloc_before) / 1e6
+                self._alloc_before = alloc_now
+            self.run.log_epoch(epoch, **epoch_metrics)
+        if cfg.verbose:
+            console_log(f"[pretrain] epoch {epoch}: "
+                        f"total={epoch_stats['total']:.4f} "
+                        f"P={epoch_stats['predictive']:.4f} "
+                        f"C={epoch_stats['contrastive']:.4f}")
+        if self.recovery is not None:
+            action = self.recovery.check_epoch(epoch_stats["total"], epoch)
+            if action == "rollback":
+                # The diverged epoch's history entry is discarded by the
+                # restore inside _rollback().
+                raise _Rollback()
+        self.epoch += 1
+        if self.manager is not None and (self.epoch % self.every_n_epochs == 0
+                                         or self.epoch == cfg.epochs):
+            self._save(0, {}, 0, 0, metrics=epoch_stats, at_epoch_start=True)
+
+
+def _resolve_checkpoint_dir(ckpt_cfg, train_config, run) -> pathlib.Path:
+    if ckpt_cfg.directory:
+        return pathlib.Path(ckpt_cfg.directory)
+    if getattr(run, "directory", None):
+        return pathlib.Path(run.directory) / "checkpoints"
+    return pathlib.Path(train_config.run_root) / "checkpoints"
+
+
+def _checkpoint_extra_meta(model_config, train_config, ckpt_cfg) -> dict:
+    """Self-description stored in every checkpoint so ``repro runs resume``
+    can rebuild the model/config/data without the original script."""
+    return {"model_config": dataclasses.asdict(model_config),
+            "train_config": dataclasses.asdict(train_config),
+            "data_spec": ckpt_cfg.data_spec}
+
+
 def pretrain(model_config: TimeDRLConfig, data,
              train_config: PretrainConfig | None = None,
-             run=None) -> PretrainResult:
+             run=None, hooks=None) -> PretrainResult:
     """Pre-train a :class:`TimeDRL` model on unlabeled data.
 
     Parameters
@@ -168,6 +385,9 @@ def pretrain(model_config: TimeDRLConfig, data,
         Optional :class:`repro.telemetry.Run` to report into (the caller
         keeps ownership).  When omitted, ``train_config.telemetry=True``
         opens (and finishes) a fresh run under ``train_config.run_root``.
+    hooks:
+        Optional :class:`repro.checkpoint.TrainingHooks` — fault-injection
+        points for the test harness.  Production code leaves this ``None``.
 
     Returns
     -------
@@ -193,19 +413,61 @@ def pretrain(model_config: TimeDRLConfig, data,
                          weight_decay=train_config.weight_decay)
     rng = np.random.default_rng(train_config.seed)
     history: list[dict[str, float]] = []
+
+    ckpt_cfg = train_config.checkpoint
+    manager = recovery = resume_state = checkpoint_dir = None
+    if ckpt_cfg is not None:
+        checkpoint_dir = _resolve_checkpoint_dir(ckpt_cfg, train_config, run)
+        manager = CheckpointManager(checkpoint_dir,
+                                    keep_last=ckpt_cfg.keep_last,
+                                    best_metric=ckpt_cfg.best_metric,
+                                    best_mode=ckpt_cfg.best_mode)
+        recovery = RecoveryController(ckpt_cfg, run=run)
+        if ckpt_cfg.resume:
+            loaded = manager.load_latest()
+            if loaded is not None:
+                resume_state = loaded[0]
+
     if train_config.profile:
         profiler.enable()
+
+    loop = _PretrainLoop(model, optimizer, data, train_config, rng, run,
+                         history, manager=manager, recovery=recovery,
+                         hooks=hooks,
+                         extra_meta=(_checkpoint_extra_meta(
+                             model_config, train_config, ckpt_cfg)
+                             if ckpt_cfg is not None else None))
+    resumed_from_step = None
+    if resume_state is not None:
+        loop.apply_state(resume_state)
+        resumed_from_step = resume_state.global_step
+        if run.enabled:
+            run.emit("checkpoint", action="resumed",
+                     step=resumed_from_step, epoch=resume_state.epoch,
+                     batch=resume_state.batch_in_epoch)
+        if train_config.verbose:
+            console_log(f"[pretrain] resuming from step {resumed_from_step} "
+                        f"(epoch {resume_state.epoch}, "
+                        f"batch {resume_state.batch_in_epoch})")
 
     start = time.perf_counter()
     try:
         with run.span("pretrain", epochs=train_config.epochs,
                       batch_size=train_config.batch_size):
-            _train_epochs(model, optimizer, data, train_config, rng, run, history)
+            loop.run_all()
+    except TrainingAborted as error:
+        # Deliberate stop by a recovery policy: a controlled failure, not
+        # a crash.
+        if owns_run:
+            run.emit("health", check="aborted", phase="run",
+                     error=type(error).__name__, detail=str(error))
+            run.finish("failed")
+        raise
     except BaseException as error:
         if owns_run:
             run.emit("health", check="exception", phase="run",
                      error=type(error).__name__, detail=str(error))
-            run.finish("failed")
+            run.record_crash(error)
         raise
     elapsed = time.perf_counter() - start
 
@@ -225,7 +487,11 @@ def pretrain(model_config: TimeDRLConfig, data,
     if owns_run:
         run.finish("completed")
     model.eval()
-    return PretrainResult(model=model, history=history, wall_clock_seconds=elapsed,
+    return PretrainResult(model=model, history=history,
+                          wall_clock_seconds=elapsed,
                           profile=profile, run_id=run.run_id,
                           run_dir=(str(run.directory)
-                                   if run.directory is not None else None))
+                                   if run.directory is not None else None),
+                          checkpoint_dir=(str(checkpoint_dir)
+                                          if checkpoint_dir is not None else None),
+                          resumed_from_step=resumed_from_step)

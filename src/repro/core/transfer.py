@@ -10,6 +10,8 @@ need not match).
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
 from dataclasses import dataclass
 
 from ..data.datasets import ForecastingData
@@ -18,7 +20,7 @@ from ..telemetry import NULL_RUN
 from .config import PretrainConfig, TimeDRLConfig
 from .finetune import timedrl_forecast_features
 from .model import TimeDRL
-from .pretrain import pretrain
+from .pretrain import _resolve_checkpoint_dir, pretrain
 
 __all__ = ["TransferResult", "transfer_forecasting"]
 
@@ -60,13 +62,27 @@ def transfer_forecasting(source: ForecastingData, target: ForecastingData,
     train_config = train_config or PretrainConfig()
     run = NULL_RUN if run is None else run
 
+    def phase_config(phase: str) -> PretrainConfig:
+        """Give each pre-training phase its own checkpoint subdirectory —
+        the two phases run the same step counts, so sharing one directory
+        would collide file names (and ``resume`` would cross phases)."""
+        ckpt = train_config.checkpoint
+        if ckpt is None:
+            return train_config
+        base = _resolve_checkpoint_dir(ckpt, train_config, run)
+        phase_ckpt = dataclasses.replace(
+            ckpt, directory=str(pathlib.Path(base) / phase))
+        return dataclasses.replace(train_config, checkpoint=phase_ckpt)
+
     with run.span("transfer_source_pretrain"):
-        source_model = pretrain(config, source.train, train_config, run=run).model
+        source_model = pretrain(config, source.train, phase_config("source"),
+                                run=run).model
     transfer_mse = ridge_probe_forecasting(
         timedrl_forecast_features(source_model), target, alpha).mse
 
     with run.span("transfer_target_pretrain"):
-        target_model = pretrain(config, target.train, train_config, run=run).model
+        target_model = pretrain(config, target.train, phase_config("target"),
+                                run=run).model
     in_domain_mse = ridge_probe_forecasting(
         timedrl_forecast_features(target_model), target, alpha).mse
 

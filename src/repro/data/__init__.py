@@ -15,6 +15,7 @@ from .datasets import (
     stratified_split,
 )
 from .io import (
+    DataValidationError,
     load_classification_npz,
     load_forecasting_csv,
     save_classification_npz,
@@ -30,16 +31,19 @@ from .registry import (
     load_forecasting_dataset,
 )
 from .scaler import StandardScaler
+from .specs import classification_spec, forecasting_spec, materialize_data_spec
 
 __all__ = [
     "ClassificationData", "ForecastingData", "ForecastingWindows",
     "chronological_split", "stratified_split",
     "make_classification_data", "make_forecasting_data",
     "DataLoader", "batch_indices",
+    "DataValidationError",
     "load_forecasting_csv", "save_forecasting_csv",
     "load_classification_npz", "save_classification_npz",
     "StandardScaler",
     "FORECASTING_DATASETS", "CLASSIFICATION_DATASETS",
     "ForecastingDatasetInfo", "ClassificationDatasetInfo",
     "load_forecasting_dataset", "load_classification_dataset",
+    "forecasting_spec", "classification_spec", "materialize_data_spec",
 ]

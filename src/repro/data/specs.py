@@ -1,0 +1,57 @@
+"""Serializable dataset specs for checkpoint-driven resume.
+
+A *data spec* is a small JSON-safe dict describing how a pre-training
+data argument was built from the dataset registry.  Checkpoints carry the
+spec in their metadata (``CheckpointConfig.data_spec``) so
+``repro runs resume <run_id>`` can reconstruct the exact training data —
+same registry dataset, same scale, same seed, same windowing — without
+the original launch script.
+"""
+
+from __future__ import annotations
+
+from .datasets import make_classification_data, make_forecasting_data
+from .registry import load_classification_dataset, load_forecasting_dataset
+
+__all__ = ["forecasting_spec", "classification_spec", "materialize_data_spec"]
+
+
+def forecasting_spec(dataset: str, scale: float = 1.0, seed: int = 0,
+                     seq_len: int = 64, pred_len: int = 24, stride: int = 1,
+                     univariate_target: int | None = None) -> dict:
+    """Spec for pre-training on a forecasting split's training windows."""
+    return {"kind": "forecasting", "dataset": dataset, "scale": scale,
+            "seed": seed, "seq_len": seq_len, "pred_len": pred_len,
+            "stride": stride, "univariate_target": univariate_target}
+
+
+def classification_spec(dataset: str, scale: float = 1.0,
+                        seed: int = 0) -> dict:
+    """Spec for pre-training on a classification split's training samples."""
+    return {"kind": "classification", "dataset": dataset, "scale": scale,
+            "seed": seed}
+
+
+def materialize_data_spec(spec: dict):
+    """Rebuild the pre-training ``data`` argument a spec describes.
+
+    Forecasting specs yield the train split's
+    :class:`~repro.data.datasets.ForecastingWindows`; classification specs
+    yield the raw training samples ``(N, T, C)``.
+    """
+    kind = spec.get("kind")
+    if kind == "forecasting":
+        series = load_forecasting_dataset(spec["dataset"],
+                                          scale=spec.get("scale", 1.0),
+                                          seed=spec.get("seed", 0))
+        data = make_forecasting_data(series, spec["seq_len"], spec["pred_len"],
+                                     stride=spec.get("stride", 1),
+                                     univariate_target=spec.get("univariate_target"))
+        return data.train
+    if kind == "classification":
+        x, y = load_classification_dataset(spec["dataset"],
+                                           scale=spec.get("scale", 1.0),
+                                           seed=spec.get("seed", 0))
+        return make_classification_data(x, y, seed=spec.get("seed", 0)).x_train
+    raise ValueError(f"unknown data_spec kind {kind!r} "
+                     "(expected 'forecasting' or 'classification')")

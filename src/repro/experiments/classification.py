@@ -7,7 +7,11 @@ scored with ACC / macro-F1 / Cohen's kappa on the held-out test split.
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
+
 from ..baselines import CLASSIFICATION_BASELINES, FitConfig
+from ..checkpoint import CheckpointConfig
 from ..core import (
     PretrainConfig,
     TimeDRLConfig,
@@ -16,6 +20,7 @@ from ..core import (
 )
 from ..data import (
     CLASSIFICATION_DATASETS,
+    classification_spec,
     load_classification_dataset,
     make_classification_data,
 )
@@ -70,15 +75,29 @@ def timedrl_classification_config(dataset: str, preset: ScalePreset, seed: int =
 
 def run_classification_method(method: str, dataset: str, data: ClassificationData,
                               preset: ScalePreset, seed: int = 0,
-                              config_overrides: dict | None = None
+                              config_overrides: dict | None = None,
+                              checkpoint: CheckpointConfig | None = None
                               ) -> dict[str, float]:
-    """Pre-train + probe one method; returns ``{"ACC", "MF1", "kappa"}``."""
+    """Pre-train + probe one method; returns ``{"ACC", "MF1", "kappa"}``.
+
+    ``checkpoint`` applies to the TimeDRL pre-training only (baselines own
+    their fit loops): each dataset checkpoints into its own subdirectory
+    with a data spec so ``repro runs resume`` can rebuild the samples.
+    """
     if method == "TimeDRL":
         config = timedrl_classification_config(dataset, preset, seed=seed,
                                                **(config_overrides or {}))
+        if checkpoint is not None:
+            info = CLASSIFICATION_DATASETS[dataset]
+            scale = min(1.0, preset.max_samples / info.samples)
+            base = checkpoint.directory or "results/checkpoints"
+            checkpoint = dataclasses.replace(
+                checkpoint, directory=str(pathlib.Path(base) / dataset),
+                data_spec=classification_spec(dataset, scale=scale, seed=seed))
         outcome = pretrain(config, data.x_train, PretrainConfig(
             epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
-            max_batches_per_epoch=preset.max_batches, seed=seed))
+            max_batches_per_epoch=preset.max_batches, seed=seed,
+            checkpoint=checkpoint))
         scores = linear_evaluate_classification(outcome.model, data,
                                                 epochs=preset.probe_epochs, seed=seed)
     elif method in CLASSIFICATION_BASELINES:
@@ -98,7 +117,9 @@ def run_classification_method(method: str, dataset: str, data: ClassificationDat
 def classification_table(datasets: tuple[str, ...] = ("Epilepsy",),
                          methods: tuple[str, ...] = CLASSIFICATION_METHODS,
                          preset: ScalePreset | None = None,
-                         seed: int = 0, run=None) -> dict[str, ResultTable]:
+                         seed: int = 0, run=None,
+                         checkpoint: CheckpointConfig | None = None
+                         ) -> dict[str, ResultTable]:
     """Regenerate the paper's Table V.
 
     Returns ``{"ACC": table, "MF1": table, "kappa": table}``, one row per
@@ -119,7 +140,8 @@ def classification_table(datasets: tuple[str, ...] = ("Epilepsy",),
             for method in methods:
                 with run.span("method", dataset=dataset, method=method):
                     scores = run_classification_method(method, dataset, data,
-                                                       preset, seed)
+                                                       preset, seed,
+                                                       checkpoint=checkpoint)
                 for metric in tables:
                     tables[metric].add(dataset, method, scores[metric])
                 run.emit("metric", experiment="classification_table",

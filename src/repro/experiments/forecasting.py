@@ -15,6 +15,9 @@ standard-scaled space, mirroring the paper.
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
+
 import numpy as np
 
 from ..baselines import (
@@ -22,13 +25,19 @@ from ..baselines import (
     FORECASTING_SSL_BASELINES,
     FitConfig,
 )
+from ..checkpoint import CheckpointConfig
 from ..core import (
     PretrainConfig,
     TimeDRLConfig,
     linear_evaluate_forecasting,
     pretrain,
 )
-from ..data import FORECASTING_DATASETS, load_forecasting_dataset, make_forecasting_data
+from ..data import (
+    FORECASTING_DATASETS,
+    forecasting_spec,
+    load_forecasting_dataset,
+    make_forecasting_data,
+)
 from ..evaluation import ridge_probe_forecasting
 from ..telemetry import NULL_RUN
 from .scale import ScalePreset, get_scale
@@ -63,7 +72,10 @@ def prepare_forecasting_data(dataset: str, preset: ScalePreset,
         for horizon in horizons
     }
     n_features = 1 if univariate else info.features
-    return {"horizons": per_horizon, "n_features": n_features, "series": series}
+    return {"horizons": per_horizon, "n_features": n_features, "series": series,
+            "spec": {"dataset": dataset, "scale": scale, "seed": seed,
+                     "seq_len": preset.seq_len, "stride": preset.window_stride,
+                     "univariate_target": target}}
 
 
 def _fits(length: int, seq_len: int, horizon: int) -> bool:
@@ -84,21 +96,46 @@ def timedrl_config_for(n_features: int, preset: ScalePreset, seed: int = 0,
     return TimeDRLConfig(**params)
 
 
+def _dataset_checkpoint(checkpoint: CheckpointConfig | None, dataset: str,
+                        data_spec: dict | None) -> CheckpointConfig | None:
+    """Per-dataset checkpoint sub-config: each dataset's pre-train gets its
+    own subdirectory (shared directories would collide file names) and a
+    data spec so ``repro runs resume`` can rebuild the training data."""
+    if checkpoint is None:
+        return None
+    base = checkpoint.directory or "results/checkpoints"
+    return dataclasses.replace(checkpoint,
+                               directory=str(pathlib.Path(base) / dataset),
+                               data_spec=data_spec)
+
+
 def run_forecasting_method(method: str, prepared: dict, preset: ScalePreset,
-                           seed: int = 0, config_overrides: dict | None = None
+                           seed: int = 0, config_overrides: dict | None = None,
+                           checkpoint: CheckpointConfig | None = None
                            ) -> dict[int, tuple[float, float]]:
-    """Run one method over every horizon; returns ``{horizon: (mse, mae)}``."""
+    """Run one method over every horizon; returns ``{horizon: (mse, mae)}``.
+
+    ``checkpoint`` applies to the TimeDRL pre-training only (baselines own
+    their fit loops).
+    """
     horizons = prepared["horizons"]
     n_features = prepared["n_features"]
-    first_data = next(iter(horizons.values()))
+    first_horizon = next(iter(horizons))
+    first_data = horizons[first_horizon]
     results: dict[int, tuple[float, float]] = {}
 
     if method == "TimeDRL":
         config = timedrl_config_for(n_features, preset, seed=seed,
                                     **(config_overrides or {}))
+        spec = prepared.get("spec")
+        data_spec = (forecasting_spec(pred_len=first_horizon, **spec)
+                     if spec is not None else None)
         outcome = pretrain(config, first_data.train, PretrainConfig(
             epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
-            max_batches_per_epoch=preset.max_batches, seed=seed))
+            max_batches_per_epoch=preset.max_batches, seed=seed,
+            checkpoint=_dataset_checkpoint(
+                checkpoint, spec["dataset"] if spec else "forecasting",
+                data_spec)))
         for horizon, data in horizons.items():
             scores = linear_evaluate_forecasting(outcome.model, data)
             results[horizon] = (scores.mse, scores.mae)
@@ -139,13 +176,17 @@ def forecasting_table(datasets: tuple[str, ...] = ("ETTh1",),
                       methods: tuple[str, ...] = FORECAST_METHODS,
                       univariate: bool = False,
                       preset: ScalePreset | None = None,
-                      seed: int = 0, run=None) -> dict[str, ResultTable]:
+                      seed: int = 0, run=None,
+                      checkpoint: CheckpointConfig | None = None
+                      ) -> dict[str, ResultTable]:
     """Regenerate the paper's Table III (or IV with ``univariate=True``).
 
     Returns ``{"MSE": table, "MAE": table}`` with one row per
     dataset/horizon pair and one column per method.  An optional telemetry
     ``run`` traces each dataset/method cell as a span and records every
-    (mse, mae) score as a structured metric event.
+    (mse, mae) score as a structured metric event.  ``checkpoint``
+    enables fault-tolerant TimeDRL pre-training (one subdirectory per
+    dataset).
     """
     preset = preset or get_scale()
     run = NULL_RUN if run is None else run
@@ -160,7 +201,8 @@ def forecasting_table(datasets: tuple[str, ...] = ("ETTh1",),
             for method in methods:
                 with run.span("method", dataset=dataset, method=method):
                     per_horizon = run_forecasting_method(method, prepared,
-                                                         preset, seed)
+                                                         preset, seed,
+                                                         checkpoint=checkpoint)
                 for horizon, (mse_value, mae_value) in per_horizon.items():
                     row = f"{dataset}-{horizon}"
                     mse_table.add(row, method, mse_value)

@@ -44,7 +44,7 @@ from .losses import (
     nt_xent_loss,
     triplet_loss,
 )
-from .module import Module, ModuleList, Parameter, Sequential
+from .module import LoadResult, Module, ModuleList, Parameter, Sequential
 from .optim import (
     Adam,
     AdamW,
@@ -77,7 +77,7 @@ __all__ = [
     "functional", "profiler", "use_fused", "fused_enabled",
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
     "concatenate", "stack", "where", "maximum", "minimum",
-    "Module", "ModuleList", "Parameter", "Sequential",
+    "LoadResult", "Module", "ModuleList", "Parameter", "Sequential",
     "Linear", "Dropout", "LayerNorm", "BatchNorm1d",
     "ReLU", "GELU", "Tanh", "Sigmoid", "Identity", "Flatten",
     "MultiHeadAttention", "causal_mask",

@@ -7,14 +7,30 @@ NumPy autograd :class:`~repro.nn.tensor.Tensor`.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 import numpy as np
 
 from . import profiler as _prof
 from .tensor import Tensor
 
-__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList", "LoadResult"]
+
+
+class LoadResult(NamedTuple):
+    """Report of a :meth:`Module.load_state_dict` call.
+
+    ``mismatched`` holds ``(key, own_shape, state_shape)`` triples for
+    keys present on both sides whose shapes disagree.
+    """
+
+    missing: list[str]
+    unexpected: list[str]
+    mismatched: list[tuple[str, tuple, tuple]]
+
+    @property
+    def clean(self) -> bool:
+        return not (self.missing or self.unexpected or self.mismatched)
 
 
 class Parameter(Tensor):
@@ -96,25 +112,49 @@ class Module:
             state[name] = buffer.copy()
         return state
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters/buffers in-place; shapes must match exactly."""
-        own_params = dict(self.named_parameters())
-        own_buffers = dict(self.named_buffers())
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        strict: bool = True) -> LoadResult:
+        """Load parameters/buffers in-place.
+
+        Every problem — missing keys, unexpected keys, shape mismatches —
+        is collected and reported in one error rather than failing on the
+        first, so a checkpoint/model drift is diagnosable in a single
+        round-trip.  With ``strict=False`` the matching subset is loaded
+        and the problems are returned in the :class:`LoadResult` instead
+        of raised (mismatched keys are skipped, never partially written).
+        """
+        own: dict[str, np.ndarray] = {
+            name: param.data for name, param in self.named_parameters()}
+        own.update(self.named_buffers())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        mismatched = [
+            (name, own[name].shape, np.shape(state[name]))
+            for name in sorted(set(own) & set(state))
+            if own[name].shape != np.shape(state[name])
+        ]
+        result = LoadResult(missing, unexpected, mismatched)
+        if strict and not result.clean:
+            problems = []
+            if missing:
+                problems.append(f"missing keys: {missing}")
+            if unexpected:
+                problems.append(f"unexpected keys: {unexpected}")
+            if mismatched:
+                problems.append("shape mismatches: " + ", ".join(
+                    f"{name!r} expected {want}, got {got}"
+                    for name, want, got in mismatched))
+            report = f"load_state_dict failed — {'; '.join(problems)}"
+            # Key problems raise KeyError, pure shape problems ValueError,
+            # matching what each failure mode raised historically.
+            if missing or unexpected:
+                raise KeyError(report)
+            raise ValueError(report)
+        skip = {name for name, __, __ in mismatched}
         for name, value in state.items():
-            if name in own_params:
-                target = own_params[name].data
-            elif name in own_buffers:
-                target = own_buffers[name]
-            else:
-                raise KeyError(f"unexpected key in state_dict: {name!r}")
-            if target.shape != value.shape:
-                raise ValueError(
-                    f"shape mismatch for {name!r}: {target.shape} vs {value.shape}"
-                )
-            target[...] = value
-        missing = (set(own_params) | set(own_buffers)) - set(state)
-        if missing:
-            raise KeyError(f"missing keys in state_dict: {sorted(missing)}")
+            if name in own and name not in skip:
+                own[name][...] = value
+        return result
 
     def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
         """Non-trainable persistent arrays (e.g. BatchNorm running stats)."""

@@ -41,6 +41,48 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete optimizer state: hyper-parameters plus per-parameter
+        slot arrays (momentum/moment buffers), as copies.
+
+        ``param_shapes`` records the shape of every tracked parameter in
+        order, so :meth:`load_state_dict` can detect a re-ordered or
+        re-shaped parameter list instead of silently applying stale
+        moments to the wrong tensors.
+        """
+        return {
+            "type": type(self).__name__,
+            "lr": self.lr,
+            "param_shapes": [tuple(p.data.shape) for p in self.parameters],
+            "slots": {},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state written by :meth:`state_dict` (exact round-trip)."""
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"cannot load into {type(self).__name__}")
+        shapes = [tuple(shape) for shape in state["param_shapes"]]
+        own_shapes = [tuple(p.data.shape) for p in self.parameters]
+        if shapes != own_shapes:
+            problems = [f"slot {i}: saved {saved}, live {live}"
+                        for i, (saved, live) in enumerate(zip(shapes, own_shapes))
+                        if saved != live]
+            if len(shapes) != len(own_shapes):
+                problems.insert(0, f"parameter count: saved {len(shapes)}, "
+                                   f"live {len(own_shapes)}")
+            raise ValueError("optimizer parameter ordering/shape mismatch — "
+                             + "; ".join(problems))
+        self.lr = float(state["lr"])
+        for name, arrays in state["slots"].items():
+            own = getattr(self, f"_{name}")
+            for buffer, value in zip(own, arrays):
+                buffer[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -64,6 +106,17 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(momentum=self.momentum, weight_decay=self.weight_decay)
+        state["slots"]["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
 
 
 class Adam(Optimizer):
@@ -96,6 +149,22 @@ class Adam(Optimizer):
             v += (1 - beta2) * grad**2
             param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(betas=tuple(self.betas), eps=self.eps,
+                     weight_decay=self.weight_decay,
+                     step_count=self._step_count)
+        state["slots"]["m"] = [m.copy() for m in self._m]
+        state["slots"]["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.betas = tuple(float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+
 
 class AdamW(Adam):
     """Adam with *decoupled* weight decay (the paper's optimizer)."""
@@ -111,6 +180,15 @@ class AdamW(Adam):
                 if param.grad is not None:
                     param.data -= self.lr * self.decoupled_weight_decay * param.data
         super().step()
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["decoupled_weight_decay"] = self.decoupled_weight_decay
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.decoupled_weight_decay = float(state["decoupled_weight_decay"])
 
 
 class CosineScheduler:

@@ -28,6 +28,7 @@ import json
 import pathlib
 import platform
 import time
+import traceback
 import uuid
 
 import numpy as np
@@ -46,9 +47,10 @@ EVENTS_NAME = "events.jsonl"
 METRICS_NAME = "metrics.jsonl"
 
 EVENT_TYPES = ("run_start", "run_end", "span_start", "span_end",
-               "step", "epoch", "message", "health", "metric")
+               "step", "epoch", "message", "health", "metric",
+               "checkpoint", "recovery", "crash")
 
-_STATUS = ("running", "completed", "failed")
+_STATUS = ("running", "completed", "failed", "crashed")
 
 
 def _config_dict(config) -> dict | None:
@@ -284,6 +286,24 @@ class Run:
     def healthy(self) -> bool:
         return not self.health_events
 
+    def record_crash(self, error: BaseException) -> None:
+        """Mark the run ``crashed``: emit a structured traceback event and
+        seal the manifest, so an unhandled exception never leaves the run
+        dangling as ``running`` with no trace of what killed it.
+
+        Safe to call from any ``except`` block; idempotent once finished.
+        """
+        if self._finished:
+            return
+        frames = traceback.format_exception(type(error), error,
+                                            error.__traceback__)
+        self.emit("crash", error=type(error).__name__, detail=str(error),
+                  traceback=frames)
+        self.manifest["crash"] = {"error": type(error).__name__,
+                                  "detail": str(error),
+                                  "traceback": frames}
+        self.finish("crashed")
+
     # -- lifecycle ------------------------------------------------------
     def finish(self, status: str = "completed", **summary) -> None:
         """Seal the run: final summary, manifest rewrite, sinks closed."""
@@ -312,10 +332,11 @@ class Run:
         if exc_type is None:
             self.finish("completed")
         else:
-            # Structured failure instead of a silent half-written run dir.
+            # Structured crash record instead of a silent half-written run
+            # dir left dangling as "running".
             self.emit("health", check="exception", phase="run",
                       error=exc_type.__name__, detail=str(exc))
-            self.finish("failed")
+            self.record_crash(exc)
         return False
 
     def _write_manifest(self) -> None:
@@ -399,6 +420,9 @@ class NullRun:
         pass
 
     def finish(self, status: str = "completed", **summary) -> None:
+        pass
+
+    def record_crash(self, error: BaseException) -> None:
         pass
 
     def __enter__(self) -> "NullRun":

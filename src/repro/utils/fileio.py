@@ -1,11 +1,12 @@
-"""Small filesystem helpers shared by telemetry and metric artifacts."""
+"""Small filesystem helpers shared by telemetry, checkpoints and metrics."""
 
 from __future__ import annotations
 
 import os
 import pathlib
+import time
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "atomic_write_bytes", "read_with_retry"]
 
 
 def atomic_write_text(path, text: str) -> pathlib.Path:
@@ -16,13 +17,50 @@ def atomic_write_text(path, text: str) -> pathlib.Path:
     never observe a truncated file — an interrupted run leaves either the
     previous artifact or the new one, nothing in between.
     """
+    return _atomic_write(path, text, binary=False)
+
+
+def atomic_write_bytes(path, payload: bytes) -> pathlib.Path:
+    """Binary twin of :func:`atomic_write_text` (checkpoints, archives)."""
+    return _atomic_write(path, payload, binary=True)
+
+
+def _atomic_write(path, payload, binary: bool) -> pathlib.Path:
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     temp = target.with_name(f".{target.name}.tmp{os.getpid()}")
     try:
-        temp.write_text(text, encoding="utf-8")
+        if binary:
+            temp.write_bytes(payload)
+        else:
+            temp.write_text(payload, encoding="utf-8")
         os.replace(temp, target)
     finally:
         if temp.exists():  # only on failure before the replace
             temp.unlink(missing_ok=True)
     return target
+
+
+def read_with_retry(reader, path, attempts: int = 3, backoff: float = 0.05,
+                    retry_on: tuple[type[BaseException], ...] = (OSError,)):
+    """Call ``reader(path)``, retrying transient failures with backoff.
+
+    Network filesystems and containers occasionally surface spurious
+    ``OSError``s on reads that succeed moments later; data loaders wrap
+    their file opens in this helper so one transient hiccup doesn't kill
+    an hours-long run.  The wait doubles after each failed attempt
+    (``backoff``, ``2*backoff``, ...); the final failure re-raises the
+    original exception unchanged so callers keep their typed errors.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = backoff
+    for attempt in range(attempts):
+        try:
+            return reader(path)
+        except retry_on:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover

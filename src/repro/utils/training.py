@@ -92,6 +92,22 @@ class EarlyStopping:
     def should_stop(self) -> bool:
         return self._stale >= self.patience
 
+    def state_dict(self) -> dict:
+        """Complete stopper state, for checkpoint/resume round-trips."""
+        return {"patience": self.patience, "mode": self.mode,
+                "min_delta": self.min_delta, "best": self.best,
+                "best_step": self.best_step, "step_count": self._step_count,
+                "stale": self._stale}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.patience = int(state["patience"])
+        self.mode = state["mode"]
+        self.min_delta = float(state["min_delta"])
+        self.best = None if state["best"] is None else float(state["best"])
+        self.best_step = int(state["best_step"])
+        self._step_count = int(state["step_count"])
+        self._stale = int(state["stale"])
+
 
 class MetricTracker:
     """Accumulate scalar metrics over steps/epochs and export them.
@@ -139,6 +155,15 @@ class MetricTracker:
         payload = json.loads(pathlib.Path(path).read_text())
         tracker.history = {k: list(map(float, v)) for k, v in payload["history"].items()}
         return tracker
+
+    def state_dict(self) -> dict:
+        """Deep copy of the history, for checkpoint/resume round-trips."""
+        return {"history": {key: list(values)
+                            for key, values in self.history.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.history = {key: [float(v) for v in values]
+                        for key, values in state["history"].items()}
 
 
 class Timer:

@@ -1,0 +1,56 @@
+"""Shared fixtures for the checkpoint / fault-injection test harness.
+
+Every test here trains the same tiny TimeDRL on the same fixed-seed
+synthetic samples: 40 samples x batch 8 = 5 batches per epoch, 3 epochs
+= 15 global steps.  Step arithmetic in the tests assumes this layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint import TrainingState
+from repro.core import PretrainConfig, TimeDRLConfig
+
+BATCHES_PER_EPOCH = 5
+EPOCHS = 3
+TOTAL_STEPS = BATCHES_PER_EPOCH * EPOCHS
+
+
+def tiny_model_config(seed: int = 0) -> TimeDRLConfig:
+    return TimeDRLConfig(seq_len=16, patch_len=4, stride=4, d_model=8,
+                         num_heads=2, num_layers=1, input_channels=2,
+                         seed=seed)
+
+
+def tiny_data(n: int = 40, seed: int = 1) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, 16, 2))
+
+
+def tiny_train_config(**overrides) -> PretrainConfig:
+    params = dict(epochs=EPOCHS, batch_size=8, learning_rate=1e-3, seed=0)
+    params.update(overrides)
+    return PretrainConfig(**params)
+
+
+def assert_model_states_equal(a: dict, b: dict) -> None:
+    """Bit-exact equality of two model state dicts."""
+    assert set(a) == set(b)
+    for name in a:
+        assert np.array_equal(a[name], b[name]), f"parameter {name} differs"
+
+
+def assert_training_states_equal(a: TrainingState, b: TrainingState) -> None:
+    """Bit-exact equality of two captured training states."""
+    assert (a.epoch, a.batch_in_epoch, a.global_step) == \
+           (b.epoch, b.batch_in_epoch, b.global_step)
+    assert_model_states_equal(a.model_state, b.model_state)
+    oa, ob = dict(a.optimizer_state), dict(b.optimizer_state)
+    slots_a, slots_b = oa.pop("slots", {}), ob.pop("slots", {})
+    assert oa == ob
+    assert set(slots_a) == set(slots_b)
+    for slot in slots_a:
+        for left, right in zip(slots_a[slot], slots_b[slot]):
+            assert np.array_equal(left, right), f"optimizer slot {slot} differs"
+    assert a.history == b.history
+    assert a.epoch_sums == b.epoch_sums

@@ -1,0 +1,139 @@
+"""Kill-and-resume must be bit-identical (the PR's headline guarantee).
+
+A fixed-seed pre-training run killed at an arbitrary batch boundary and
+resumed from its last checkpoint must produce *exactly* the same final
+parameters, optimizer state and loss trajectory as an uninterrupted run
+— ``np.array_equal``, not ``allclose``.
+"""
+
+import dataclasses
+import glob
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointManager,
+    CrashAt,
+    SimulatedCrash,
+)
+from repro.core import pretrain
+from repro.telemetry import Run
+from tests.checkpoint.common import (
+    assert_model_states_equal,
+    assert_training_states_equal,
+    tiny_data,
+    tiny_model_config,
+    tiny_train_config,
+)
+
+
+def _run_to_completion(tmp_path, label, **ckpt_overrides):
+    """One full uninterrupted run checkpointing into ``tmp_path/label``."""
+    config = tiny_train_config(checkpoint=CheckpointConfig(
+        directory=str(tmp_path / label), **ckpt_overrides))
+    return pretrain(tiny_model_config(), tiny_data(), config)
+
+
+class TestKillAndResume:
+    def _crash_and_resume(self, tmp_path, crash_step, **ckpt_overrides):
+        """Kill a run at ``crash_step``, resume it, return both results."""
+        baseline = _run_to_completion(tmp_path, "baseline", **ckpt_overrides)
+
+        ckpt = CheckpointConfig(directory=str(tmp_path / "killed"),
+                                **ckpt_overrides)
+        with pytest.raises(SimulatedCrash):
+            pretrain(tiny_model_config(), tiny_data(),
+                     tiny_train_config(checkpoint=ckpt),
+                     hooks=CrashAt(crash_step))
+        resumed = pretrain(
+            tiny_model_config(), tiny_data(),
+            tiny_train_config(checkpoint=dataclasses.replace(ckpt, resume=True)))
+        return baseline, resumed
+
+    def _assert_identical(self, baseline, resumed, tmp_path):
+        assert baseline.history == resumed.history  # exact float equality
+        assert_model_states_equal(baseline.model.state_dict(),
+                                  resumed.model.state_dict())
+        # The final checkpoints carry the optimizer state (moments, step
+        # count): they must match bit for bit too.
+        final_a, __ = CheckpointManager(tmp_path / "baseline").load_latest()
+        final_b, __ = CheckpointManager(tmp_path / "killed").load_latest()
+        assert_training_states_equal(final_a, final_b)
+
+    def test_mid_epoch_batch_boundary(self, tmp_path):
+        # Step 7 is epoch 1, batch 2 — nowhere near an epoch boundary.
+        baseline, resumed = self._crash_and_resume(tmp_path, crash_step=7,
+                                                   every_n_batches=1)
+        assert resumed.resumed_from_step == 8  # checkpoint after step 7 ran
+        self._assert_identical(baseline, resumed, tmp_path)
+
+    def test_epoch_boundary_checkpoints_only(self, tmp_path):
+        # Only epoch-boundary checkpoints: dying at step 7 rewinds to the
+        # start of epoch 1 (global step 5) and replays the epoch.
+        baseline, resumed = self._crash_and_resume(tmp_path, crash_step=7,
+                                                   every_n_epochs=1)
+        assert resumed.resumed_from_step == 5
+        self._assert_identical(baseline, resumed, tmp_path)
+
+    def test_crash_on_first_batch(self, tmp_path):
+        baseline, resumed = self._crash_and_resume(tmp_path, crash_step=0,
+                                                   every_n_batches=1)
+        assert resumed.resumed_from_step == 1
+        self._assert_identical(baseline, resumed, tmp_path)
+
+    def test_resume_without_checkpoints_starts_fresh(self, tmp_path):
+        config = tiny_train_config(checkpoint=CheckpointConfig(
+            directory=str(tmp_path / "empty"), resume=True))
+        result = pretrain(tiny_model_config(), tiny_data(), config)
+        assert result.resumed_from_step is None
+        assert len(result.history) == 3
+
+
+class TestCheckpointingIsFree:
+    def test_trajectory_identical_with_and_without_checkpointing(self, tmp_path):
+        """Turning checkpointing on (no faults) must not change one bit of
+        the training trajectory."""
+        plain = pretrain(tiny_model_config(), tiny_data(), tiny_train_config())
+        checkpointed = _run_to_completion(tmp_path, "on", every_n_batches=1)
+        assert plain.history == checkpointed.history
+        assert_model_states_equal(plain.model.state_dict(),
+                                  checkpointed.model.state_dict())
+
+
+class TestCrashTelemetry:
+    def test_simulated_crash_marks_run_crashed(self, tmp_path):
+        """An unhandled (Base)Exception must leave the telemetry run in
+        status ``crashed`` with a structured traceback event."""
+        config = tiny_train_config(
+            telemetry=True, run_root=str(tmp_path / "runs"),
+            checkpoint=CheckpointConfig(directory=str(tmp_path / "ckpts"),
+                                        every_n_batches=1))
+        with pytest.raises(SimulatedCrash):
+            pretrain(tiny_model_config(), tiny_data(), config,
+                     hooks=CrashAt(4))
+        run_dir, = glob.glob(str(tmp_path / "runs" / "*"))
+        loaded = Run.load(run_dir)
+        assert loaded.status == "crashed"
+        crashes = [e for e in loaded.events if e["type"] == "crash"]
+        assert crashes and crashes[0]["error"] == "SimulatedCrash"
+        assert any("injected crash" in line for line in crashes[0]["traceback"])
+        saves = [e for e in loaded.events
+                 if e["type"] == "checkpoint" and e["action"] == "saved"]
+        assert saves, "checkpoint saves should be mirrored as events"
+
+    def test_resume_emits_checkpoint_event(self, tmp_path):
+        ckpt = CheckpointConfig(directory=str(tmp_path / "ckpts"),
+                                every_n_batches=1)
+        with pytest.raises(SimulatedCrash):
+            pretrain(tiny_model_config(), tiny_data(),
+                     tiny_train_config(checkpoint=ckpt), hooks=CrashAt(7))
+        config = tiny_train_config(
+            telemetry=True, run_root=str(tmp_path / "runs"),
+            checkpoint=dataclasses.replace(ckpt, resume=True))
+        result = pretrain(tiny_model_config(), tiny_data(), config)
+        loaded = Run.load(result.run_dir)
+        resumes = [e for e in loaded.events
+                   if e["type"] == "checkpoint" and e["action"] == "resumed"]
+        assert resumes and resumes[0]["step"] == 8

@@ -1,0 +1,176 @@
+"""Training-state capture/restore: optimizer round-trips, RNG snapshots,
+extra stateful objects (EarlyStopping/MetricTracker)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.checkpoint import capture_state, restore_state
+from repro.checkpoint.state import named_rngs, rng_state, set_rng_state
+from repro.core import TimeDRL
+from repro.nn import Parameter
+from repro.utils.training import EarlyStopping, MetricTracker
+from tests.checkpoint.common import tiny_model_config
+
+SHAPES = [(4, 3), (3,), (2, 2, 2)]
+
+
+def _params(seed=0):
+    rng = np.random.default_rng(seed)
+    return [Parameter(rng.normal(size=shape)) for shape in SHAPES]
+
+
+def _apply_grads(optimizer, params, seed, steps=1):
+    rng = np.random.default_rng(seed)
+    for __ in range(steps):
+        for param in params:
+            param.grad = rng.normal(size=param.data.shape)
+        optimizer.step()
+
+
+OPTIMIZERS = {
+    "SGD": lambda p: nn.SGD(p, lr=0.05, momentum=0.9, weight_decay=1e-3),
+    "Adam": lambda p: nn.Adam(p, lr=1e-3, betas=(0.8, 0.95), eps=1e-7),
+    "AdamW": lambda p: nn.AdamW(p, lr=1e-3, weight_decay=0.1),
+}
+
+
+class TestOptimizerRoundTrip:
+    @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+    def test_round_trip_is_exact(self, name):
+        """state_dict -> fresh optimizer -> load -> identical future."""
+        build = OPTIMIZERS[name]
+        params_a = _params()
+        optimizer_a = build(params_a)
+        _apply_grads(optimizer_a, params_a, seed=1, steps=3)
+
+        params_b = _params()
+        for left, right in zip(params_b, params_a):
+            left.data[...] = right.data
+        optimizer_b = build(params_b)
+        optimizer_b.load_state_dict(optimizer_a.state_dict())
+
+        # Same state => bit-identical parameters after identical updates.
+        _apply_grads(optimizer_a, params_a, seed=2, steps=3)
+        _apply_grads(optimizer_b, params_b, seed=2, steps=3)
+        for left, right in zip(params_a, params_b):
+            assert np.array_equal(left.data, right.data)
+        state_a, state_b = optimizer_a.state_dict(), optimizer_b.state_dict()
+        for slot in state_a["slots"]:
+            for one, two in zip(state_a["slots"][slot],
+                                state_b["slots"][slot]):
+                assert np.array_equal(one, two)
+
+    def test_adam_step_count_round_trips(self):
+        params = _params()
+        optimizer = nn.Adam(params, lr=1e-3)
+        _apply_grads(optimizer, params, seed=1, steps=5)
+        state = optimizer.state_dict()
+        assert state["step_count"] == 5
+        fresh = nn.Adam(_params(), lr=1e-3)
+        fresh.load_state_dict(state)
+        assert fresh._step_count == 5
+
+    def test_state_dict_values_are_copies(self):
+        params = _params()
+        optimizer = nn.SGD(params, lr=0.1, momentum=0.9)
+        _apply_grads(optimizer, params, seed=1)
+        state = optimizer.state_dict()
+        state["slots"]["velocity"][0][...] = 99.0
+        assert not np.array_equal(optimizer._velocity[0], state["slots"]["velocity"][0])
+
+    def test_reordered_parameters_rejected(self):
+        optimizer = nn.SGD(_params(), lr=0.1)
+        state = optimizer.state_dict()
+        state["param_shapes"] = list(reversed(state["param_shapes"]))
+        with pytest.raises(ValueError, match="ordering/shape mismatch"):
+            optimizer.load_state_dict(state)
+
+    def test_parameter_count_mismatch_rejected(self):
+        optimizer = nn.SGD(_params(), lr=0.1)
+        state = optimizer.state_dict()
+        small = nn.SGD(_params()[:2], lr=0.1)
+        with pytest.raises(ValueError, match="parameter count"):
+            small.load_state_dict(state)
+
+    def test_wrong_optimizer_type_rejected(self):
+        state = nn.SGD(_params(), lr=0.1).state_dict()
+        adam = nn.Adam(_params(), lr=1e-3)
+        with pytest.raises(ValueError, match="SGD"):
+            adam.load_state_dict(state)
+
+
+class TestRngSnapshots:
+    def test_rng_round_trip_replays_draws(self):
+        rng = np.random.default_rng(42)
+        rng.normal(size=7)
+        snapshot = rng_state(rng)
+        first = rng.normal(size=11)
+        set_rng_state(rng, snapshot)
+        assert np.array_equal(rng.normal(size=11), first)
+
+    def test_named_rngs_deduplicates_shared_generators(self):
+        model = TimeDRL(tiny_model_config())
+        found = named_rngs(model)
+        names = [name for name, __ in found]
+        assert len(names) == len(set(names))
+        generators = [generator for __, generator in found]
+        assert len({id(g) for g in generators}) == len(generators)
+        # The augmentation RNG lives on the model root; dropout layers all
+        # share one generator discovered once under its first owner.
+        assert "_augment_rng" in names
+
+
+class TestCaptureRestore:
+    def test_model_and_rng_restore_in_place(self):
+        model = TimeDRL(tiny_model_config())
+        state = capture_state(model)
+        # Perturb parameters and burn RNG draws.
+        for __, param in model.named_parameters():
+            param.data += 1.0
+        for __, generator in named_rngs(model):
+            generator.normal(size=5)
+        reference = TimeDRL(tiny_model_config())
+        restore_state(state, reference)
+        restore_state(state, model)
+        for (name, param), (__, expected) in zip(model.named_parameters(),
+                                                 reference.named_parameters()):
+            assert np.array_equal(param.data, expected.data), name
+        for (__, one), (__, two) in zip(named_rngs(model),
+                                        named_rngs(reference)):
+            assert np.array_equal(one.normal(size=5), two.normal(size=5))
+
+    def test_restore_rejects_architecture_drift(self):
+        model = TimeDRL(tiny_model_config())
+        state = capture_state(model)
+        state.model_rngs["ghost.rng"] = state.model_rngs["_augment_rng"]
+        with pytest.raises(ValueError, match="ghost.rng"):
+            restore_state(state, model)
+
+    def test_extra_objects_round_trip(self):
+        stopper = EarlyStopping(patience=3, mode="min")
+        tracker = MetricTracker()
+        for value in (3.0, 2.0, 2.5):
+            stopper.step(value)
+            tracker.log(loss=value)
+        model = TimeDRL(tiny_model_config())
+        state = capture_state(model, extra={"stopper": stopper,
+                                            "tracker": tracker})
+
+        fresh_stopper, fresh_tracker = EarlyStopping(), MetricTracker()
+        restore_state(state, model, extra={"stopper": fresh_stopper,
+                                           "tracker": fresh_tracker})
+        assert fresh_stopper.state_dict() == stopper.state_dict()
+        assert fresh_tracker.history == {"loss": [3.0, 2.0, 2.5]}
+        # Continued use agrees too: one more stale step trips both alike.
+        assert fresh_stopper.step(2.6) == stopper.step(2.6)
+
+    def test_loader_rng_restored(self):
+        model = TimeDRL(tiny_model_config())
+        loader = np.random.default_rng(9)
+        loader.integers(0, 100, size=4)
+        state = capture_state(model, loader_rng_state=rng_state(loader))
+        expected = loader.permutation(16)
+        replay = np.random.default_rng(0)
+        restore_state(state, model, loader_rng=replay)
+        assert np.array_equal(replay.permutation(16), expected)

@@ -103,6 +103,50 @@ class TestStateDict:
         with pytest.raises(ValueError):
             net.load_state_dict(state)
 
+    def test_strict_error_reports_every_problem_at_once(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        state["bogus"] = np.zeros(1)
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(KeyError) as excinfo:
+            net.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "missing keys" in message and "scale" in message
+        assert "unexpected keys" in message and "bogus" in message
+        assert "shape mismatches" in message and "fc1.weight" in message
+
+    def test_pure_shape_problem_raises_value_error(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="fc1.weight"):
+            net.load_state_dict(state)
+
+    def test_non_strict_returns_problems_and_loads_the_rest(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        state["bogus"] = np.zeros(1)
+        state["fc1.weight"] = np.zeros((2, 2))
+        state["fc2.bias"] = state["fc2.bias"] + 7.0
+        before = net.fc1.weight.data.copy()
+        result = net.load_state_dict(state, strict=False)
+        assert not result.clean
+        assert result.missing == ["scale"]
+        assert result.unexpected == ["bogus"]
+        assert [name for name, __, __ in result.mismatched] == ["fc1.weight"]
+        # The matching subset loads; mismatched keys are left untouched.
+        np.testing.assert_allclose(net.fc2.bias.data, state["fc2.bias"])
+        np.testing.assert_allclose(net.fc1.weight.data, before)
+
+    def test_non_strict_clean_load(self):
+        net = TinyNet()
+        result = net.load_state_dict(net.state_dict(), strict=False)
+        assert result.clean
+        assert result.missing == [] and result.unexpected == []
+        assert result.mismatched == []
+
     def test_save_load_file(self, tmp_path):
         net = TinyNet()
         path = str(tmp_path / "model.npz")

@@ -57,16 +57,29 @@ class TestRunRoundTrip:
         with pytest.raises(RuntimeError):
             loaded.emit("message", text="nope")
 
-    def test_context_manager_records_failure(self, tmp_path):
+    def test_context_manager_records_crash(self, tmp_path):
         with pytest.raises(ValueError):
             with Run.create(root=tmp_path, name="boom") as run:
                 run.log_epoch(0, total=1.0)
                 raise ValueError("exploded mid-training")
         loaded = Run.load(run.directory)
-        assert loaded.status == "failed"
+        assert loaded.status == "crashed"
         health = [e for e in loaded.events if e["type"] == "health"]
         assert health and health[0]["check"] == "exception"
         assert health[0]["error"] == "ValueError"
+        crashes = [e for e in loaded.events if e["type"] == "crash"]
+        assert crashes and crashes[0]["error"] == "ValueError"
+        assert any("exploded mid-training" in line
+                   for line in crashes[0]["traceback"])
+        assert loaded.manifest["crash"]["error"] == "ValueError"
+
+    def test_record_crash_is_idempotent(self, tmp_path):
+        run = Run.create(root=tmp_path)
+        run.record_crash(RuntimeError("first"))
+        run.record_crash(RuntimeError("second"))  # no-op once finished
+        loaded = Run.load(run.directory)
+        assert loaded.status == "crashed"
+        assert loaded.manifest["crash"]["detail"] == "first"
 
 
 class TestSpans:
