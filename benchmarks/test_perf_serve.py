@@ -1,0 +1,135 @@
+"""Serving-path benchmark: throughput, request latency, cache effect.
+
+Unlike the table/figure benchmarks this one times the *serving subsystem*:
+a pre-trained checkpoint is loaded through the :class:`ModelRegistry` and
+a repeated-window workload is pushed through the
+:class:`InferenceService` micro-batching front door, the way the
+``repro serve`` CLI does.
+
+It emits ``BENCH_serve.json`` at the repo root with three measurement
+sets over the same workload:
+
+* ``direct``   — plain ``model.encode()`` over the full workload in one
+  batch: the no-serving-overhead ceiling;
+* ``cold``     — the service with an empty cache (every request misses),
+  isolating the micro-batching/queueing overhead;
+* ``warm``     — the same workload replayed against the populated cache
+  (every request hits), which is the dashboards-re-scoring-recent-history
+  regime the cache exists for.
+
+Each set records throughput (windows/s) and per-request p50/p95 latency
+from the engine's own histograms — the numbers the latency report and
+telemetry surface in production.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.checkpoint import CheckpointConfig
+from repro.core import PretrainConfig, TimeDRLConfig, pretrain
+from repro.serve import EmbeddingCache, InferenceService, ServiceConfig
+
+from conftest import run_once
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+WORKLOAD = {"windows": 256, "seq_len": 64, "channels": 7,
+            "request_size": 1, "max_batch_size": 32}
+
+
+def _make_checkpoint(directory: pathlib.Path) -> pathlib.Path:
+    config = TimeDRLConfig(seq_len=WORKLOAD["seq_len"],
+                           input_channels=WORKLOAD["channels"],
+                           patch_len=8, stride=8, d_model=64,
+                           num_heads=4, num_layers=2, seed=0)
+    rng = np.random.default_rng(0)
+    windows = rng.standard_normal(
+        (64, WORKLOAD["seq_len"], WORKLOAD["channels"])).astype(np.float32)
+    pretrain(config, windows, PretrainConfig(
+        epochs=1, batch_size=16, seed=0,
+        checkpoint=CheckpointConfig(directory=str(directory),
+                                    every_n_epochs=1)))
+    return directory
+
+
+def _measure_suite(checkpoint_dir: pathlib.Path) -> dict:
+    rng = np.random.default_rng(1)
+    windows = rng.standard_normal(
+        (WORKLOAD["windows"], WORKLOAD["seq_len"], WORKLOAD["channels"]),
+    ).astype(np.float32)
+
+    service = InferenceService.from_checkpoint(
+        checkpoint_dir,
+        ServiceConfig(max_batch_size=WORKLOAD["max_batch_size"],
+                      cache_size=2 * WORKLOAD["windows"]))
+    model = service.loaded.model
+    model.encode(windows[:8])  # warm both paths before any timing
+    service.serve_windows(windows[:8], request_size=1)
+    service.engine.latency["encode"].reset()
+    # Fresh cache so the warm-up's hits/misses don't pollute the counters.
+    service.cache = EmbeddingCache(2 * WORKLOAD["windows"])
+    service.engine.cache = service.cache
+
+    def timed_direct():
+        start = time.perf_counter()
+        model.encode(windows)
+        return time.perf_counter() - start
+
+    direct_s = timed_direct()
+
+    def timed_pass():
+        hist = service.engine.latency["encode"]
+        hist.reset()
+        start = time.perf_counter()
+        service.serve_windows(windows,
+                              request_size=WORKLOAD["request_size"])
+        elapsed = time.perf_counter() - start
+        return {"windows_per_s": WORKLOAD["windows"] / elapsed,
+                "elapsed_s": elapsed,
+                "p50_ms": hist.percentile(50),
+                "p95_ms": hist.percentile(95)}
+
+    cold = timed_pass()          # cache empty: every request misses
+    warm = timed_pass()          # cache populated: every request hits
+    stats = service.cache.stats()
+
+    return {
+        "direct": {"windows_per_s": WORKLOAD["windows"] / direct_s,
+                   "elapsed_s": direct_s},
+        "cold": cold,
+        "warm": warm,
+        "cache": stats.as_dict(),
+    }
+
+
+def test_perf_serve(benchmark, tmp_path):
+    checkpoint_dir = _make_checkpoint(tmp_path / "ckpt")
+    measured = run_once(benchmark, lambda: _measure_suite(checkpoint_dir))
+
+    report = {"workload": dict(WORKLOAD), **measured}
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for key in ("direct", "cold", "warm"):
+        entry = measured[key]
+        line = f"{key}: {entry['windows_per_s']:.0f} windows/s"
+        if "p50_ms" in entry:
+            line += (f" (p50={entry['p50_ms']:.3f}ms"
+                     f" p95={entry['p95_ms']:.3f}ms)")
+        print(line)
+    cache = measured["cache"]
+    print(f"cache: hit rate {cache['hit_rate']:.1%} "
+          f"({cache['hits']} hits / {cache['misses']} misses)")
+    print(f"wrote {OUTPUT_PATH}")
+
+    for key in ("direct", "cold", "warm"):
+        assert np.isfinite(measured[key]["windows_per_s"])
+        assert measured[key]["windows_per_s"] > 0
+    # Repeated-input workload must actually exercise the cache, and a
+    # fully warm pass must beat the cold pass it replays.
+    assert cache["hit_rate"] == 0.5
+    assert measured["warm"]["elapsed_s"] < measured["cold"]["elapsed_s"]

@@ -8,7 +8,9 @@ directly.  The check is AST-based, not a grep — docstrings and comments
 that merely *mention* ``print(`` (e.g. the profiler's usage example) are
 fine, actual ``print`` call sites are not.
 
-Usage: python scripts/check_print.py [src/repro]
+Usage: python scripts/check_print.py [ROOT ...]   (default: src/repro)
+Multiple roots are linted in sequence — CI passes the library tree plus
+any subsystem it wants called out explicitly (e.g. ``src/repro/serve``).
 Exit status 1 if any offending call is found.
 """
 
@@ -43,8 +45,18 @@ def check_tree(root: pathlib.Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path("src/repro")
-    violations = check_tree(root)
+    roots = ([pathlib.Path(arg) for arg in argv[1:]]
+             or [pathlib.Path("src/repro")])
+    violations: list[str] = []
+    seen: set[str] = set()
+    for root in roots:
+        if not root.exists():
+            violations.append(f"{root}: lint root does not exist")
+            continue
+        for line in check_tree(root):
+            if line not in seen:  # overlapping roots lint each file once
+                seen.add(line)
+                violations.append(line)
     for line in violations:
         print(line)
     if violations:

@@ -5,10 +5,17 @@ Every baseline in the paper's Tables III–V is re-implemented on the
 
 * :class:`SSLBaseline` — self-supervised representation learners
   (TS2Vec, SimTS, TNC, CoST, MHCCL, CCL, SimCLR, BYOL, TS-TCC, T-Loss):
-  ``fit`` pre-trains on unlabeled data; ``timestamp_embeddings`` /
-  ``instance_embeddings`` expose frozen features for the linear probes.
+  ``fit`` pre-trains on unlabeled data; ``encode`` exposes frozen
+  ``(timestamp, instance)`` features for the linear probes.
 * :class:`EndToEndForecaster` — supervised forecasters (Informer, TCN):
   ``fit`` trains on (window, horizon) pairs; ``predict`` forecasts.
+
+Both speak the unified inference API (``repro.serve.api.InferenceAPI``):
+SSL learners implement ``encode`` and reject ``predict`` (no predictive
+head), end-to-end forecasters implement ``predict`` and reject ``encode``
+(no embedding space worth serving).  The pre-redesign method names
+(``timestamp_embeddings`` / ``instance_embeddings`` /
+``forecast_features``) survive as thin deprecation shims.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from ..data.datasets import ForecastingData, ForecastingWindows
 from ..data.loader import batch_indices
 from ..evaluation import metrics
 from ..nn import Tensor
+from ..serve.api import InferenceUnsupported
+from ..utils.deprecation import warn_deprecated
 
 __all__ = ["FitConfig", "SSLBaseline", "EndToEndForecaster", "ConvEncoder"]
 
@@ -85,8 +94,10 @@ class SSLBaseline(nn.Module):
     """Base class for self-supervised baselines.
 
     Subclasses implement :meth:`loss` (one mini-batch of raw windows or
-    samples ``(B, T, C)`` to a scalar Tensor) and :meth:`encode`
-    (``(B, T, C)`` ndarray to per-timestep Tensor ``(B, T, D)``).
+    samples ``(B, T, C)`` to a scalar Tensor) and :meth:`features`
+    (``(B, T, C)`` ndarray to per-timestep Tensor ``(B, T, D)``, with
+    gradients — it is also the training-time representation).  The
+    public, deterministic :meth:`encode` is derived from it.
     """
 
     name = "base"
@@ -99,7 +110,8 @@ class SSLBaseline(nn.Module):
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         raise NotImplementedError
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
+        """Per-timestep representation Tensor ``(B, T, D)`` (with grads)."""
         raise NotImplementedError
 
     def prepare_epoch(self, data, rng: np.random.Generator) -> None:
@@ -141,29 +153,73 @@ class SSLBaseline(nn.Module):
         self.eval()
         return self
 
-    # -- frozen-feature interfaces for the probes ------------------------
-    def timestamp_embeddings(self, x: np.ndarray) -> np.ndarray:
+    # -- unified inference API (repro.serve.api.InferenceAPI) -------------
+    def _feature_hook(self, x: np.ndarray) -> Tensor:
+        """Resolve the per-timestep representation hook.
+
+        Pre-redesign subclasses overrode ``encode`` with the Tensor-valued
+        hook that is now called ``features``; detect such overrides so
+        third-party baselines keep working through the deprecation window.
+        """
+        if type(self).features is not SSLBaseline.features:
+            return self.features(x)
+        if type(self).encode is not SSLBaseline.encode:
+            return self.encode(x)  # legacy subclass: encode IS the hook
+        return self.features(x)  # raises NotImplementedError
+
+    def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Raw batch ``(B, T, C)`` to ``(timestamp_emb, instance_emb)``.
+
+        One deterministic pass (eval mode, no grad): the timestamp
+        embedding is the subclass's :meth:`features` output, the instance
+        embedding its max-pool over time (TS2Vec convention, shared by
+        every conv-based baseline here).
+        """
         was_training = self.training
         self.eval()
         try:
             with nn.no_grad():
-                return self.encode(x).data
+                z = self._feature_hook(x)
+                return z.data, z.max(axis=1).data
         finally:
             self.train(was_training)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """SSL baselines are encoder-only; they have no predictive head."""
+        raise InferenceUnsupported(
+            f"{type(self).__name__} is an encoder-only SSL baseline; "
+            "use encode() and attach a probe")
+
+    # -- legacy names (deprecation shims) ---------------------------------
+    def timestamp_embeddings(self, x: np.ndarray) -> np.ndarray:
+        """Deprecated: use ``encode(x)[0]``."""
+        warn_deprecated(f"{type(self).__name__}.timestamp_embeddings",
+                        "encode(x)[0]")
+        return self._encode_via_hook(x)[0]
 
     def instance_embeddings(self, x: np.ndarray) -> np.ndarray:
+        """Deprecated: use ``encode(x)[1]``."""
+        warn_deprecated(f"{type(self).__name__}.instance_embeddings",
+                        "encode(x)[1]")
+        return self._encode_via_hook(x)[1]
+
+    def forecast_features(self, x: np.ndarray) -> np.ndarray:
+        """Deprecated: flatten ``encode(x)[0]`` instead."""
+        warn_deprecated(f"{type(self).__name__}.forecast_features",
+                        "encode(x)[0].reshape(len(x), -1)")
+        return self._encode_via_hook(x)[0].reshape(x.shape[0], -1)
+
+    def _encode_via_hook(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Shim path that works even on legacy subclasses overriding
+        ``encode`` with the old Tensor-valued hook."""
         was_training = self.training
         self.eval()
         try:
             with nn.no_grad():
-                return self.encode(x).max(axis=1).data
+                z = self._feature_hook(x)
+                return z.data, z.max(axis=1).data
         finally:
             self.train(was_training)
-
-    def forecast_features(self, x: np.ndarray) -> np.ndarray:
-        """Flattened per-timestep features for the forecasting ridge probe."""
-        z = self.timestamp_embeddings(x)
-        return z.reshape(x.shape[0], -1)
 
 
 class EndToEndForecaster(nn.Module):
@@ -208,11 +264,27 @@ class EndToEndForecaster(nn.Module):
         self.eval()
         return self
 
+    def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Supervised forecasters have no embedding space worth serving."""
+        raise InferenceUnsupported(
+            f"{type(self).__name__} is an end-to-end forecaster; use predict()")
+
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Forecast in the dataset's scaled space (de-normalised)."""
+        """Forecast in the dataset's scaled space (de-normalised).
+
+        Forces eval mode for the forward pass (and restores the previous
+        mode after): without this, calling ``predict`` before or during
+        ``fit`` sampled dropout at inference — Informer's attention
+        dropout and the TCN's residual dropout made forecasts stochastic.
+        """
         mean, std = self._stats(x)
-        with nn.no_grad():
-            pred = self.forward(Tensor((x - mean) / std)).data
+        was_training = self.training
+        self.eval()
+        try:
+            with nn.no_grad():
+                pred = self.forward(Tensor((x - mean) / std)).data
+        finally:
+            self.train(was_training)
         return pred * std + mean
 
     def evaluate(self, data: ForecastingData, chunk: int = 256):

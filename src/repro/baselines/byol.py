@@ -46,7 +46,7 @@ class BYOL(SSLBaseline):
         self._sync_target(decay=0.0)
 
     # The online encoder is the representation used for probing.
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def parameters(self):
@@ -70,7 +70,7 @@ class BYOL(SSLBaseline):
         self._sync_target(self.ema_decay)
 
     def _branch_loss(self, online_view: np.ndarray, target_view: np.ndarray) -> Tensor:
-        online = self.predictor(self.projector(self.encode(online_view).max(axis=1)))
+        online = self.predictor(self.projector(self.features(online_view).max(axis=1)))
         with nn.no_grad():
             target = self.target_projector(
                 self.target_encoder(Tensor(target_view)).max(axis=1))

@@ -36,12 +36,12 @@ class CCL(SSLBaseline):
         self.classifier = nn.Linear(d_model, n_clusters, rng=rng)
         self._centroids: np.ndarray | None = None
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def prepare_epoch(self, data, rng: np.random.Generator) -> None:
         samples = self._materialise(data)
-        embeddings = self.instance_embeddings(samples)
+        embeddings = self.encode(samples)[1]
         self._centroids, __ = kmeans(embeddings, self.n_clusters, rng=rng)
 
     @staticmethod
@@ -54,7 +54,7 @@ class CCL(SSLBaseline):
         return samples[:cap]
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
-        embeddings = self.encode(x).max(axis=1)
+        embeddings = self.features(x).max(axis=1)
         if self._centroids is None:
             # First batches before any clustering: entropy-style warmup via
             # self-prediction of a random projection is unnecessary — just

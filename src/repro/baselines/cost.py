@@ -39,7 +39,7 @@ class CoST(SSLBaseline):
         self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
         self._dft_cache: dict[int, tuple[Tensor, Tensor]] = {}
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def _dft_bases(self, length: int) -> tuple[Tensor, Tensor]:
@@ -65,8 +65,8 @@ class CoST(SSLBaseline):
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         view1 = jitter(scaling(x, rng, sigma=0.1), rng, sigma=0.05)
         view2 = jitter(scaling(x, rng, sigma=0.1), rng, sigma=0.05)
-        z1 = self.encode(view1)
-        z2 = self.encode(view2)
+        z1 = self.features(view1)
+        z2 = self.features(view2)
         # Trend: time-domain contrast of pooled representations.
         trend = nn.nt_xent_loss(z1.mean(axis=1), z2.mean(axis=1))
         # Seasonal: frequency-domain contrast of amplitude spectra.

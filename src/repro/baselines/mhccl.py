@@ -44,13 +44,13 @@ class MHCCL(SSLBaseline):
         self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
         self._prototypes: list[np.ndarray] = []
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def prepare_epoch(self, data, rng: np.random.Generator) -> None:
         """Recompute the prototype hierarchy on current embeddings."""
         samples = self._materialise(data)
-        embeddings = self.instance_embeddings(samples)
+        embeddings = self.encode(samples)[1]
         self._prototypes = []
         level_points = embeddings
         for k in self.cluster_sizes:
@@ -83,8 +83,8 @@ class MHCCL(SSLBaseline):
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         view1 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
         view2 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
-        h1 = self.encode(view1).max(axis=1)
-        h2 = self.encode(view2).max(axis=1)
+        h1 = self.features(view1).max(axis=1)
+        h2 = self.features(view2).max(axis=1)
         instance_term = nn.nt_xent_loss(h1, h2, temperature=self.temperature)
         if not self._prototypes:
             return instance_term

@@ -36,13 +36,13 @@ class SimCLR(SSLBaseline):
             nn.Linear(d_model, projection_dim, rng=rng),
         )
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         view1 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
         view2 = scaling(jitter(x, rng, sigma=0.1), rng, sigma=0.2)
-        h1 = self.encode(view1).max(axis=1)
-        h2 = self.encode(view2).max(axis=1)
+        h1 = self.features(view1).max(axis=1)
+        h2 = self.features(view2).max(axis=1)
         return nn.nt_xent_loss(self.projector(h1), self.projector(h2),
                                temperature=self.temperature)

@@ -38,7 +38,7 @@ class SimTS(SSLBaseline):
             nn.Linear(d_model * 2, d_model, rng=rng),
         )
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
@@ -46,8 +46,8 @@ class SimTS(SSLBaseline):
         if length < 4:
             raise ValueError("SimTS needs windows of at least 4 steps")
         split = length // 2
-        z_past = self.encode(x[:, :split])  # causal: last step summarises history
-        z_future = self.encode(x[:, split:])
+        z_past = self.features(x[:, :split])  # causal: last step summarises history
+        z_future = self.features(x[:, split:])
         summary = z_past[:, -1, :]
         predicted = self.predictor(summary)  # (B, D)
         # Align the prediction with every future latent (stop-gradient on

@@ -33,13 +33,13 @@ class TLoss(SSLBaseline):
         self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth,
                                    causal=True, rng=rng)
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def _embed_subseries(self, x: np.ndarray, starts: np.ndarray,
                          length: int) -> Tensor:
         spans = np.stack([x[i, s: s + length] for i, s in enumerate(starts)])
-        return self.encode(spans).max(axis=1)
+        return self.features(spans).max(axis=1)
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         batch, length, __ = x.shape

@@ -40,13 +40,13 @@ class TNC(SSLBaseline):
         self.discriminator = nn.Parameter(
             (rng.standard_normal((d_model, d_model)) * 0.05).astype(np.float32))
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def _embed_span(self, x: np.ndarray, starts: np.ndarray) -> Tensor:
         """Encode the subwindow starting at ``starts[i]`` for each sample."""
         spans = np.stack([x[i, s: s + self.subwindow] for i, s in enumerate(starts)])
-        return self.encode(spans).mean(axis=1)
+        return self.features(spans).mean(axis=1)
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         batch, length, __ = x.shape

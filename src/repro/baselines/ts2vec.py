@@ -37,12 +37,12 @@ class TS2Vec(SSLBaseline):
         self.alpha = alpha
         self.encoder = ConvEncoder(in_channels, d_model=d_model, depth=depth, rng=rng)
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
         view1 = masking(x, rng, ratio=self.mask_ratio)
         view2 = masking(x, rng, ratio=self.mask_ratio)
-        z1 = self.encode(view1)
-        z2 = self.encode(view2)
+        z1 = self.features(view1)
+        z2 = self.features(view2)
         return nn.hierarchical_contrastive_loss(z1, z2, alpha=self.alpha, max_depth=4)

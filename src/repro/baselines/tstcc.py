@@ -41,7 +41,7 @@ class TSTCC(SSLBaseline):
             nn.Linear(d_model, d_model, rng=rng), nn.ReLU(),
             nn.Linear(d_model, d_model // 2, rng=rng))
 
-    def encode(self, x: np.ndarray) -> Tensor:
+    def features(self, x: np.ndarray) -> Tensor:
         return self.encoder(Tensor(np.asarray(x, dtype=np.float32)))
 
     @staticmethod
@@ -52,8 +52,8 @@ class TSTCC(SSLBaseline):
         return context, future
 
     def loss(self, x: np.ndarray, rng: np.random.Generator) -> Tensor:
-        z_weak = self.encode(weak_augment(x, rng))
-        z_strong = self.encode(strong_augment(x, rng))
+        z_weak = self.features(weak_augment(x, rng))
+        z_strong = self.features(strong_augment(x, rng))
         c_weak, f_weak = self._context_and_future(z_weak)
         c_strong, f_strong = self._context_and_future(z_strong)
         # Temporal contrasting: each view's context predicts the *other*

@@ -7,6 +7,7 @@ Examples::
     python -m repro fig6 --scale smoke
     python -m repro profile --steps 20 --sort-by self_s
     python -m repro table3 --datasets ETTh1 --checkpoint results/ckpt --resume
+    python -m repro serve --checkpoint results/ckpt/ETTh1 --repeats 2 --report report.json
     python -m repro runs list
     python -m repro runs show 20260806-120301-a1b2c3 --svg losses.svg
     python -m repro runs resume 20260806-120301-a1b2c3
@@ -65,22 +66,34 @@ def _checkpoint_from_args(args):
                             resume=resume)
 
 
+def _runtime_from_args(args):
+    """Fold the CLI's runtime flags into the shared RuntimeOptions bundle
+    every driver accepts (telemetry run creation stays in ``main``, which
+    owns the Run object's lifecycle)."""
+    from .core import RuntimeOptions
+
+    return RuntimeOptions(
+        telemetry=bool(getattr(args, "telemetry", False)),
+        run_root=str(getattr(args, "run_root", _DEFAULT_RUN_ROOT)),
+        checkpoint=_checkpoint_from_args(args))
+
+
 def _run_table3(args, preset, run=NULL_RUN):
     return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
                              univariate=False, preset=preset, seed=args.seed,
-                             run=run, checkpoint=_checkpoint_from_args(args))
+                             run=run, runtime=_runtime_from_args(args))
 
 
 def _run_table4(args, preset, run=NULL_RUN):
     return forecasting_table(datasets=tuple(args.datasets or _FORECAST_DATASETS),
                              univariate=True, preset=preset, seed=args.seed,
-                             run=run, checkpoint=_checkpoint_from_args(args))
+                             run=run, runtime=_runtime_from_args(args))
 
 
 def _run_table5(args, preset, run=NULL_RUN):
     return classification_table(datasets=tuple(args.datasets or _CLASS_DATASETS),
                                 preset=preset, seed=args.seed, run=run,
-                                checkpoint=_checkpoint_from_args(args))
+                                runtime=_runtime_from_args(args))
 
 
 def _run_table6(args, preset, run=NULL_RUN):
@@ -165,6 +178,121 @@ def _run_profile(args) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(json.dumps(result.profile, indent=2) + "\n")
         console_log(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro serve`` — batch inference from a checkpoint
+# ----------------------------------------------------------------------
+def _serve_load_input(args, loaded):
+    """Resolve the serving workload: an ``.npz``/``.npy`` file, synthetic
+    windows, or (default) the dataset recorded in the checkpoint's own
+    data spec — the checkpoint → serving handoff."""
+    import numpy as np
+
+    if args.input is not None:
+        payload = np.load(args.input)
+        if isinstance(payload, np.ndarray):
+            windows = payload
+        else:
+            key = next((k for k in ("windows", "x") if k in payload.files),
+                       payload.files[0] if payload.files else None)
+            if key is None:
+                raise ValueError(f"{args.input} contains no arrays")
+            windows = payload[key]
+    elif args.synthetic:
+        rng = np.random.default_rng(args.seed)
+        windows = rng.standard_normal(
+            (args.synthetic, loaded.config.seq_len,
+             loaded.config.input_channels)).astype(np.float32)
+    else:
+        from .data import materialize_data_spec
+        from .data.datasets import ForecastingWindows
+
+        spec = loaded.data_spec
+        if not spec:
+            raise ValueError(
+                "checkpoint carries no data spec; pass --input FILE.npz or "
+                "--synthetic N to provide a workload")
+        data = materialize_data_spec(spec)
+        if isinstance(data, ForecastingWindows):
+            count = min(len(data), args.limit or len(data))
+            windows, __ = data.batch(np.arange(count))
+        else:
+            windows = np.asarray(data)
+    if args.limit:
+        windows = windows[:args.limit]
+    if windows.ndim != 3:
+        raise ValueError(f"workload must be (N, T, C) windows, got shape "
+                         f"{windows.shape}")
+    return np.ascontiguousarray(windows, dtype=np.float32)
+
+
+def _run_serve(args) -> int:
+    """``repro serve`` — serve embeddings/predictions from a checkpoint."""
+    import numpy as np
+
+    from .serve import InferenceService, RegistryError, ServiceConfig
+
+    run = None
+    if args.telemetry:
+        run = Run.create(root=args.run_root, name="serve",
+                         tags={"mode": args.mode,
+                               "checkpoint": str(args.checkpoint)})
+    config = ServiceConfig(max_batch_size=args.batch_size,
+                           max_wait_ms=args.max_wait_ms,
+                           cache_size=args.cache_size)
+    try:
+        service = InferenceService.from_checkpoint(
+            str(args.checkpoint), config, run=run, run_root=args.run_root)
+        windows = _serve_load_input(args, service.loaded)
+        console_log(
+            f"serving {len(windows)} windows x{args.repeats} "
+            f"(mode={args.mode}, batch={args.batch_size}, "
+            f"cache={args.cache_size}) from {service.loaded.source} "
+            f"[{service.loaded.fingerprint[:12]}]")
+        result = None
+        for __ in range(args.repeats):
+            result = service.serve_windows(windows, mode=args.mode,
+                                           request_size=args.request_size)
+    except (RegistryError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        if run is not None:
+            run.finish(status="failed")
+        return 1
+
+    report = service.report()
+    throughput = report["throughput"]
+    latency = report["latency_ms"][args.mode]
+    console_log(f"served {throughput['windows']} windows in "
+                f"{throughput['elapsed_s']:.3f}s "
+                f"({throughput['windows_per_s']:.0f} windows/s)")
+    console_log(f"latency per request: p50={latency['p50_ms']:.2f}ms "
+                f"p95={latency['p95_ms']:.2f}ms over {latency['count']} "
+                f"requests in {report['engine']['batches_run']} micro-batches")
+    if "cache" in report:
+        cache = report["cache"]
+        console_log(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+                    f"(hit rate {cache['hit_rate']:.1%}, "
+                    f"{cache['evictions']} evictions)")
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        if args.mode == "encode":
+            timestamp, instance = result
+            np.savez_compressed(args.output, timestamp=timestamp,
+                                instance=instance)
+        else:
+            np.savez_compressed(args.output, prediction=result)
+        console_log(f"wrote {args.output}")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n")
+        console_log(f"wrote {args.report}")
+    if run is not None:
+        run.finish(status="completed")
+        console_log(f"recorded run {run.run_id} under {args.run_root}")
     return 0
 
 
@@ -380,6 +508,45 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--output", type=pathlib.Path, default=None,
                       help="write the raw op stats as JSON to this file")
 
+    serve = sub.add_parser(
+        "serve", help="serve embeddings/predictions from a checkpoint "
+                      "(micro-batched, cached, with a latency report)")
+    serve.set_defaults(experiment="serve")
+    serve.add_argument("--checkpoint", required=True,
+                       help="checkpoint file, checkpoint directory, or run id")
+    serve.add_argument("--mode", choices=("encode", "predict"),
+                       default="encode",
+                       help="encode: dual-level embeddings; predict: "
+                            "per-patch reconstruction-error scores")
+    serve.add_argument("--input", type=pathlib.Path, default=None,
+                       help=".npz/.npy of raw windows (N, T, C); default: "
+                            "rebuild the checkpoint's own data spec")
+    serve.add_argument("--synthetic", type=int, default=0, metavar="N",
+                       help="serve N synthetic windows matching the model's "
+                            "geometry instead of real data")
+    serve.add_argument("--limit", type=int, default=0,
+                       help="cap the number of windows served (0 = all)")
+    serve.add_argument("--repeats", type=int, default=1,
+                       help="serve the workload this many times (cache "
+                            "hit-rate demonstration)")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="micro-batch size (max windows per forward pass)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch deadline for the threaded engine")
+    serve.add_argument("--request-size", type=int, default=1,
+                       help="windows per request (cache granularity)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="embedding-cache capacity in requests (0 = off)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--output", type=pathlib.Path, default=None,
+                       help="write embeddings/predictions to this .npz")
+    serve.add_argument("--report", type=pathlib.Path, default=None,
+                       help="write the JSON latency report here")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="record the serving session as a telemetry run")
+    serve.add_argument("--run-root", type=pathlib.Path,
+                       default=_DEFAULT_RUN_ROOT)
+
     runs = sub.add_parser("runs", help="inspect recorded training runs")
     runs.set_defaults(experiment="runs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -453,6 +620,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "profile":
         return _run_profile(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment == "runs":
         try:
             return _RUNS_COMMANDS[args.runs_command](args)

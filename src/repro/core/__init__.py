@@ -1,7 +1,7 @@
 """``repro.core`` — the TimeDRL model, pretext tasks and downstream protocols."""
 
 from .anomaly import AnomalyDetector, AnomalyResult
-from .config import PretrainConfig, TimeDRLConfig
+from .config import PretrainConfig, RuntimeOptions, TimeDRLConfig, resolve_runtime
 from .encoder import TimeDRLEncoder, build_backbone
 from .finetune import (
     ClassificationResult,
@@ -30,7 +30,7 @@ from .pretrain import PretrainResult, iterate_pretrain_batches, pretrain
 from .transfer import TransferResult, transfer_forecasting
 
 __all__ = [
-    "TimeDRLConfig", "PretrainConfig",
+    "TimeDRLConfig", "PretrainConfig", "RuntimeOptions", "resolve_runtime",
     "AnomalyDetector", "AnomalyResult",
     "TimeDRL", "TimeDRLEncoder", "build_backbone",
     "TimestampPredictiveHead", "InstanceContrastiveHead",

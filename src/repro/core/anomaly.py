@@ -16,7 +16,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import nn
 from .model import TimeDRL
 
 __all__ = ["AnomalyDetector", "AnomalyResult"]
@@ -53,25 +52,12 @@ class AnomalyDetector:
     def score(self, x: np.ndarray) -> np.ndarray:
         """Per-patch reconstruction error for raw windows ``(B, T, C)``.
 
-        Under channel independence the per-channel errors are reduced with
-        a max (an anomaly in any channel should surface).
+        Delegates to :meth:`TimeDRL.predict`, the model's half of the
+        unified inference API (``repro.serve.api.InferenceAPI``) — under
+        channel independence the per-channel errors are reduced with a
+        max (an anomaly in any channel should surface).
         """
-        model = self.model
-        was_training = model.training
-        model.eval()
-        try:
-            x_patched = model.encoder.prepare_input(x)
-            with nn.no_grad():
-                z = model.encoder(x_patched)
-                __, z_t = model.encoder.split(z)
-                recon = model.predictive_head(z_t).data
-            per_patch = ((recon - x_patched) ** 2).mean(axis=-1)
-            if model.config.channel_independence:
-                channels = x.shape[2]
-                per_patch = per_patch.reshape(x.shape[0], channels, -1).max(axis=1)
-            return per_patch
-        finally:
-            model.train(was_training)
+        return self.model.predict(x)
 
     def calibrate(self, clean: np.ndarray, quantile: float = 0.99) -> float:
         """Set the decision threshold from clean data's score distribution."""

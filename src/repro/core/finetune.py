@@ -39,6 +39,7 @@ from ..evaluation.forecasting import RidgeProbe, collect_forecast_features, ridg
 from ..nn import Tensor
 from ..nn import profiler as _profiler
 from ..telemetry import NULL_RUN
+from .config import RuntimeOptions, resolve_runtime
 from .model import TimeDRL
 from .pooling import instance_dim
 
@@ -94,7 +95,7 @@ def timedrl_forecast_features(model: TimeDRL):
     per channel under channel-independence."""
 
     def features_fn(x: np.ndarray) -> np.ndarray:
-        z_t = model.timestamp_embeddings(x)  # CI: (B*C, T_p, D); else (B, T_p, D)
+        z_t, __ = model.encode(x)  # CI: (B*C, T_p, D); else (B, T_p, D)
         if model.config.channel_independence:
             batch, channels = x.shape[0], x.shape[2]
             return z_t.reshape(batch, channels, -1)
@@ -115,7 +116,7 @@ def extract_forecast_features(model: TimeDRL, windows: ForecastingWindows,
 
 def extract_instance_features(model: TimeDRL, x: np.ndarray) -> np.ndarray:
     """Frozen-encoder pooled instance embeddings for samples ``(N, T, C)``."""
-    chunks = [model.instance_embeddings(x[s: s + _CHUNK])
+    chunks = [model.encode(x[s: s + _CHUNK])[1]
               for s in range(0, len(x), _CHUNK)]
     return np.concatenate(chunks)
 
@@ -131,7 +132,7 @@ def linear_evaluate_classification(model: TimeDRL, data: ClassificationData,
                                    epochs: int = 100, lr: float = 1e-2,
                                    seed: int = 0) -> ClassificationResult:
     """Table V protocol: frozen encoder + softmax linear probe."""
-    scores = linear_probe_classification(model.instance_embeddings, data,
+    scores = linear_probe_classification(lambda x: model.encode(x)[1], data,
                                          epochs=epochs, lr=lr, seed=seed)
     return ClassificationResult(accuracy=scores.accuracy, macro_f1=scores.macro_f1,
                                 kappa=scores.kappa)
@@ -254,7 +255,8 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                           encoder_lr_scale: float = 0.1,
                           seed: int = 0, profile: bool = False,
                           run=None,
-                          checkpoint: CheckpointConfig | None = None
+                          checkpoint: CheckpointConfig | None = None,
+                          runtime: RuntimeOptions | None = None
                           ) -> ForecastResult:
     """Fig. 5 'TimeDRL (FT)': encoder + head trained on labelled windows.
 
@@ -271,7 +273,13 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
     ``checkpoint`` optionally saves the model+head+optimizer state at
     epoch boundaries (and with ``resume=True`` restarts from the newest
     valid checkpoint, bit-identically at epoch granularity).
+
+    ``runtime`` bundles the shared wiring (:class:`RuntimeOptions`); when
+    given it is authoritative over the legacy ``profile=``/``checkpoint=``
+    kwargs.
     """
+    opts = resolve_runtime(runtime, profile=profile, checkpoint=checkpoint)
+    profile, checkpoint = opts.profile, opts.checkpoint
     run = NULL_RUN if run is None else run
     rng = np.random.default_rng(seed)
     config = model.config
@@ -371,9 +379,12 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                              encoder_lr_scale: float = 0.1,
                              seed: int = 0, profile: bool = False,
                              run=None,
-                             checkpoint: CheckpointConfig | None = None
+                             checkpoint: CheckpointConfig | None = None,
+                             runtime: RuntimeOptions | None = None
                              ) -> ClassificationResult:
     """Fig. 5 classification fine-tuning; see :func:`fine_tune_forecasting`."""
+    opts = resolve_runtime(runtime, profile=profile, checkpoint=checkpoint)
+    profile, checkpoint = opts.profile, opts.checkpoint
     run = NULL_RUN if run is None else run
     rng = np.random.default_rng(seed)
     config = model.config

@@ -25,6 +25,7 @@ from .. import nn
 from ..augmentations import AUGMENTATIONS
 from ..nn import Tensor
 from ..nn import functional as F
+from ..utils.deprecation import warn_deprecated
 from .config import TimeDRLConfig
 from .encoder import TimeDRLEncoder
 from .heads import InstanceContrastiveHead, TimestampPredictiveHead
@@ -108,37 +109,71 @@ class TimeDRL(nn.Module):
         return {"total": total, "predictive": predictive, "contrastive": contrastive}
 
     # ------------------------------------------------------------------
-    # Inference-time representations
+    # Inference API (repro.serve.api.InferenceAPI)
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Raw batch ``(B, T, C)`` to ``(timestamp_emb, instance_emb)``.
+
+        One deterministic pass (eval mode, no grad) through the full
+        Eq. 1–5 pipeline.  ``timestamp_emb`` is ``z_t`` — shaped
+        ``(B·C, T_p, D)`` under channel independence, ``(B, T_p, D)``
+        otherwise; ``instance_emb`` is the configured pooling of the
+        [CLS]/timestamp embeddings (Eq. 6, Table VII).
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            x_patched = self.encoder.prepare_input(x)
+            with nn.no_grad():
+                z = self.encoder(x_patched)
+                z_i, z_t = self.encoder.split(z)
+                pooled = pool_instance(z_i, z_t, self.config.pooling)
+            return z_t.data, pooled.data
+        finally:
+            self.train(was_training)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Per-patch reconstruction-error scores ``(B, T_p)``.
+
+        TimeDRL's native prediction is the timestamp-predictive pretext
+        head: patches the pre-trained model cannot reconstruct are
+        surprising, which is exactly the anomaly-detection application
+        the paper promises for timestamp-level embeddings (Section III).
+        :class:`~repro.core.anomaly.AnomalyDetector` thresholds these
+        scores.  Under channel independence the per-channel errors are
+        reduced with a max (an anomaly in any channel should surface).
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            x_patched = self.encoder.prepare_input(x)
+            with nn.no_grad():
+                z = self.encoder(x_patched)
+                __, z_t = self.encoder.split(z)
+                recon = self.predictive_head(z_t).data
+            per_patch = ((recon - x_patched) ** 2).mean(axis=-1)
+            if self.config.channel_independence:
+                channels = x.shape[2]
+                per_patch = per_patch.reshape(x.shape[0], channels, -1).max(axis=1)
+            return per_patch
+        finally:
+            self.train(was_training)
+
+    # ------------------------------------------------------------------
+    # Legacy inference names (deprecation shims)
     # ------------------------------------------------------------------
     def timestamp_embeddings(self, x: np.ndarray) -> np.ndarray:
-        """z_t for a raw batch, deterministic (eval mode, no grad)."""
-        __, z_t = self.encoder.encode_series(x, training=False)
-        return z_t
+        """Deprecated: use ``encode(x)[0]``."""
+        warn_deprecated("TimeDRL.timestamp_embeddings", "TimeDRL.encode(x)[0]")
+        return self.encode(x)[0]
 
     def instance_embeddings(self, x: np.ndarray) -> np.ndarray:
-        """Pooled instance embedding for a raw batch, deterministic."""
-        was_training = self.training
-        self.eval()
-        try:
-            x_patched = self.encoder.prepare_input(x)
-            with nn.no_grad():
-                z = self.encoder(x_patched)
-                z_i, z_t = self.encoder.split(z)
-                pooled = pool_instance(z_i, z_t, self.config.pooling)
-            return pooled.data
-        finally:
-            self.train(was_training)
+        """Deprecated: use ``encode(x)[1]``."""
+        warn_deprecated("TimeDRL.instance_embeddings", "TimeDRL.encode(x)[1]")
+        return self.encode(x)[1]
 
     def embed(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(instance, timestamp)`` embeddings in one pass."""
-        was_training = self.training
-        self.eval()
-        try:
-            x_patched = self.encoder.prepare_input(x)
-            with nn.no_grad():
-                z = self.encoder(x_patched)
-                z_i, z_t = self.encoder.split(z)
-                pooled = pool_instance(z_i, z_t, self.config.pooling)
-            return pooled.data, z_t.data
-        finally:
-            self.train(was_training)
+        """Deprecated: use ``encode`` (note the reversed return order)."""
+        warn_deprecated("TimeDRL.embed", "TimeDRL.encode")
+        timestamp, instance = self.encode(x)
+        return instance, timestamp

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from ..data.datasets import ForecastingData
 from ..evaluation.forecasting import ridge_probe_forecasting
 from ..telemetry import NULL_RUN
-from .config import PretrainConfig, TimeDRLConfig
+from .config import PretrainConfig, RuntimeOptions, TimeDRLConfig
 from .finetune import timedrl_forecast_features
 from .model import TimeDRL
 from .pretrain import _resolve_checkpoint_dir, pretrain
@@ -46,13 +46,15 @@ class TransferResult:
 def transfer_forecasting(source: ForecastingData, target: ForecastingData,
                          config: TimeDRLConfig,
                          train_config: PretrainConfig | None = None,
-                         alpha: float = 1.0, run=None) -> TransferResult:
+                         alpha: float = 1.0, run=None,
+                         runtime: RuntimeOptions | None = None) -> TransferResult:
     """Pre-train on ``source``, evaluate the frozen encoder on ``target``.
 
     ``config`` must use ``channel_independence=True`` so the encoder is
     agnostic to the feature counts of the two datasets.  An optional
     telemetry ``run`` traces the three phases (source pre-train, target
     pre-train, random baseline) as spans and records the resulting MSEs.
+    A ``runtime`` bundle overrides the runtime fields of ``train_config``.
     """
     if not config.channel_independence:
         raise ValueError("transfer requires channel_independence=True "
@@ -60,6 +62,8 @@ def transfer_forecasting(source: ForecastingData, target: ForecastingData,
     if source.seq_len != target.seq_len:
         raise ValueError("source and target must share seq_len")
     train_config = train_config or PretrainConfig()
+    if runtime is not None:
+        train_config = dataclasses.replace(train_config, runtime=runtime)
     run = NULL_RUN if run is None else run
 
     def phase_config(phase: str) -> PretrainConfig:

@@ -14,9 +14,11 @@ from ..baselines import CLASSIFICATION_BASELINES, FitConfig
 from ..checkpoint import CheckpointConfig
 from ..core import (
     PretrainConfig,
+    RuntimeOptions,
     TimeDRLConfig,
     linear_evaluate_classification,
     pretrain,
+    resolve_runtime,
 )
 from ..data import (
     CLASSIFICATION_DATASETS,
@@ -106,7 +108,7 @@ def run_classification_method(method: str, dataset: str, data: ClassificationDat
         model.fit(data.x_train, FitConfig(
             epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
             max_batches_per_epoch=preset.max_batches, seed=seed))
-        scores = linear_probe_classification(model.instance_embeddings, data,
+        scores = linear_probe_classification(lambda x: model.encode(x)[1], data,
                                              epochs=preset.probe_epochs, seed=seed)
     else:
         raise KeyError(f"unknown classification method {method!r}; "
@@ -118,7 +120,8 @@ def classification_table(datasets: tuple[str, ...] = ("Epilepsy",),
                          methods: tuple[str, ...] = CLASSIFICATION_METHODS,
                          preset: ScalePreset | None = None,
                          seed: int = 0, run=None,
-                         checkpoint: CheckpointConfig | None = None
+                         checkpoint: CheckpointConfig | None = None,
+                         runtime: RuntimeOptions | None = None
                          ) -> dict[str, ResultTable]:
     """Regenerate the paper's Table V.
 
@@ -129,6 +132,8 @@ def classification_table(datasets: tuple[str, ...] = ("Epilepsy",),
     """
     preset = preset or get_scale()
     run = NULL_RUN if run is None else run
+    if runtime is not None:
+        checkpoint = resolve_runtime(runtime).checkpoint
     tables = {
         metric: ResultTable(f"Linear evaluation, classification ({metric})",
                             columns=list(methods))

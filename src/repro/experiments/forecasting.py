@@ -28,9 +28,11 @@ from ..baselines import (
 from ..checkpoint import CheckpointConfig
 from ..core import (
     PretrainConfig,
+    RuntimeOptions,
     TimeDRLConfig,
     linear_evaluate_forecasting,
     pretrain,
+    resolve_runtime,
 )
 from ..data import (
     FORECASTING_DATASETS,
@@ -148,7 +150,8 @@ def run_forecasting_method(method: str, prepared: dict, preset: ScalePreset,
             epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
             max_batches_per_epoch=preset.max_batches, seed=seed))
         for horizon, data in horizons.items():
-            scores = ridge_probe_forecasting(model.forecast_features, data)
+            scores = ridge_probe_forecasting(
+                lambda x: model.encode(x)[0].reshape(len(x), -1), data)
             results[horizon] = (scores.mse, scores.mae)
         return results
 
@@ -177,7 +180,8 @@ def forecasting_table(datasets: tuple[str, ...] = ("ETTh1",),
                       univariate: bool = False,
                       preset: ScalePreset | None = None,
                       seed: int = 0, run=None,
-                      checkpoint: CheckpointConfig | None = None
+                      checkpoint: CheckpointConfig | None = None,
+                      runtime: RuntimeOptions | None = None
                       ) -> dict[str, ResultTable]:
     """Regenerate the paper's Table III (or IV with ``univariate=True``).
 
@@ -190,6 +194,8 @@ def forecasting_table(datasets: tuple[str, ...] = ("ETTh1",),
     """
     preset = preset or get_scale()
     run = NULL_RUN if run is None else run
+    if runtime is not None:
+        checkpoint = resolve_runtime(runtime).checkpoint
     flavour = "univariate" if univariate else "multivariate"
     mse_table = ResultTable(f"Linear evaluation, {flavour} forecasting (MSE)",
                             columns=list(methods))

@@ -1,0 +1,76 @@
+"""Checkpoint-backed inference serving (``repro serve``).
+
+Components:
+
+* :mod:`~repro.serve.api` — the :class:`InferenceAPI` protocol
+  (``encode`` / ``predict``) every servable model implements.
+* :mod:`~repro.serve.registry` — :class:`ModelRegistry`: load models
+  from :class:`~repro.checkpoint.CheckpointManager` archives into a
+  warm pool, validate request shapes against the checkpoint's data spec.
+* :mod:`~repro.serve.cache` — :class:`EmbeddingCache`: LRU cache of
+  embeddings keyed by (model fingerprint, input digest).
+* :mod:`~repro.serve.batching` — :class:`BatchingEngine`: coalesces
+  queued requests into dynamic micro-batches under eval + no-grad.
+* :mod:`~repro.serve.metrics` — :class:`LatencyHistogram` and the
+  latency-report format.
+* :mod:`~repro.serve.service` — :class:`InferenceService`: registry +
+  engine + cache behind one façade, with telemetry spans.
+
+Everything beyond :mod:`api` is imported lazily (PEP 562): ``core`` and
+``baselines`` import :mod:`repro.serve.api` for the protocol types, and
+the heavy serving modules import ``core`` back — laziness breaks the
+cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from .api import InferenceAPI, InferenceUnsupported
+
+__all__ = [
+    "InferenceAPI",
+    "InferenceUnsupported",
+    "ModelRegistry",
+    "LoadedModel",
+    "RegistryError",
+    "ShapeMismatch",
+    "EmbeddingCache",
+    "CacheStats",
+    "BatchingEngine",
+    "BatchingConfig",
+    "InferenceRequest",
+    "LatencyHistogram",
+    "latency_report",
+    "InferenceService",
+    "ServiceConfig",
+]
+
+_LAZY = {
+    "ModelRegistry": ".registry",
+    "LoadedModel": ".registry",
+    "RegistryError": ".registry",
+    "ShapeMismatch": ".registry",
+    "EmbeddingCache": ".cache",
+    "CacheStats": ".cache",
+    "BatchingEngine": ".batching",
+    "BatchingConfig": ".batching",
+    "InferenceRequest": ".batching",
+    "LatencyHistogram": ".metrics",
+    "latency_report": ".metrics",
+    "InferenceService": ".service",
+    "ServiceConfig": ".service",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(target, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,58 @@
+"""The unified inference API every servable model speaks.
+
+TimeDRL's premise is that one pre-trained encoder yields reusable
+dual-level embeddings (paper Section III): timestamp-level ``z_t`` for
+dense tasks (forecasting, anomaly detection) and an instance-level
+embedding for whole-series tasks (classification).  Historically each
+consumer in this repo re-invented that extraction —
+``core/finetune.py``, ``evaluation/*`` and every ``baselines/*`` module
+had its own ad-hoc encode loop.  This module collapses the sprawl into
+a two-method protocol:
+
+* ``encode(x) -> (timestamp_emb, instance_emb)`` — deterministic
+  (eval-mode, no-grad) dual-level embeddings for a raw batch
+  ``(B, T, C)``.
+* ``predict(x) -> y`` — the model's native prediction for a raw batch.
+  For TimeDRL this is the per-patch reconstruction-error score that
+  powers :class:`~repro.core.anomaly.AnomalyDetector`; for supervised
+  forecasters it is the de-normalised horizon forecast.
+
+Models that only support one half of the protocol raise
+:class:`InferenceUnsupported` from the other half (e.g. SSL baselines
+are encoders without a predictive head; end-to-end forecasters predict
+but have no embedding space worth serving).
+
+This module is deliberately dependency-free (numpy + typing only) so
+``repro.core`` and ``repro.baselines`` can import it without pulling in
+the serving engine.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["InferenceAPI", "InferenceUnsupported"]
+
+
+class InferenceUnsupported(RuntimeError):
+    """A model does not implement this half of the inference API.
+
+    Raised by ``encode`` on predictor-only models and by ``predict`` on
+    encoder-only models.  The serving layer converts it into a typed
+    request rejection rather than a 500-style crash.
+    """
+
+
+@runtime_checkable
+class InferenceAPI(Protocol):
+    """Structural type for anything the serving subsystem can host."""
+
+    def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Raw batch ``(B, T, C)`` to ``(timestamp_emb, instance_emb)``."""
+        ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Raw batch ``(B, T, C)`` to the model's native prediction."""
+        ...

@@ -1,0 +1,301 @@
+"""Micro-batching engine: coalesce inference requests, answer from cache.
+
+Requests (encode or predict, each carrying one or more raw windows) are
+queued and coalesced into dynamic micro-batches: a batch closes when it
+reaches ``max_batch_size`` windows or when the oldest queued request has
+waited ``max_wait_ms`` — the classic throughput/latency dial.  Each
+micro-batch runs exactly one forward pass under eval mode + ``no_grad``
+on the fused-kernel fast path.
+
+Two execution modes share the same batching core:
+
+* **deferred** (default) — ``submit()`` enqueues, ``flush()`` drains.
+  Single-threaded and deterministic; what the CLI batch mode and the
+  benchmark use.  ``max_wait_ms`` is irrelevant here: the caller decides
+  when to flush.
+* **threaded** — ``start()`` launches a worker that drains the queue
+  continuously, honouring the max-wait deadline for partially filled
+  batches.  ``submit()`` then returns a handle whose ``result()`` blocks.
+
+Per-window outputs are independent of batch composition on this
+substrate (row-wise kernels; locked by ``tests/serve/test_equivalence``),
+which is what makes transparent coalescing — and caching results
+computed under one batch split for reuse under another — sound.
+
+When an :class:`~repro.serve.EmbeddingCache` is wired, each request's
+input digest is checked first; hits skip the forward pass entirely and
+misses are inserted after computation, keyed by the model fingerprint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .cache import EmbeddingCache, input_digest
+from .metrics import LatencyHistogram
+from .registry import LoadedModel
+
+__all__ = ["BatchingEngine", "BatchingConfig", "InferenceRequest"]
+
+_KINDS = ("encode", "predict")
+
+
+@dataclass
+class BatchingConfig:
+    """Engine knobs: batch geometry, deadline, cache wiring."""
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    use_fused: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+
+class InferenceRequest:
+    """Handle for one submitted request; fulfilled by the engine."""
+
+    def __init__(self, kind: str, x: np.ndarray, digest: str | None):
+        self.kind = kind
+        self.x = x
+        self.digest = digest
+        self.submitted = time.perf_counter()
+        self._done = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    @property
+    def windows(self) -> int:
+        return self.x.shape[0]
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until fulfilled; re-raises the engine-side error if any."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not fulfilled within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _fulfil(self, value, error: BaseException | None = None) -> None:
+        self._value = value
+        self._error = error
+        self._done.set()
+
+
+class BatchingEngine:
+    """Coalesces encode/predict requests over one loaded model."""
+
+    def __init__(self, loaded: LoadedModel,
+                 config: BatchingConfig | None = None,
+                 cache: EmbeddingCache | None = None):
+        self.loaded = loaded
+        self.config = config or BatchingConfig()
+        self.cache = cache
+        self.latency = {kind: LatencyHistogram(kind) for kind in _KINDS}
+        self.batches_run = 0
+        self.windows_served = 0
+        self._queue: list[InferenceRequest] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+
+    # -- submission -------------------------------------------------------
+    def submit(self, x: np.ndarray, kind: str = "encode") -> InferenceRequest:
+        """Enqueue one request of ``n >= 1`` windows ``(n, T, C)``.
+
+        The input is validated against the model's data spec up front —
+        a malformed request must fail fast at the door, not poison the
+        micro-batch it would have been coalesced into.
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        x = self.loaded.validate_input(x)
+        digest = input_digest(x) if self.cache is not None else None
+        request = InferenceRequest(kind, x, digest)
+        with self._wakeup:
+            self._queue.append(request)
+            self._wakeup.notify()
+        return request
+
+    def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Synchronous convenience: submit + flush + result."""
+        request = self.submit(x, "encode")
+        if self._worker is None:
+            self.flush()
+        return request.result()
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        request = self.submit(x, "predict")
+        if self._worker is None:
+            self.flush()
+        return request.result()
+
+    # -- deferred draining ------------------------------------------------
+    def flush(self) -> int:
+        """Drain the queue in micro-batches; returns requests fulfilled."""
+        fulfilled = 0
+        while True:
+            batch = self._take_batch(wait=False)
+            if not batch:
+                return fulfilled
+            self._process(batch)
+            fulfilled += len(batch)
+
+    # -- threaded draining ------------------------------------------------
+    def start(self) -> "BatchingEngine":
+        """Launch the background worker (idempotent)."""
+        if self._worker is None:
+            self._stopping = False
+            self._worker = threading.Thread(target=self._worker_loop,
+                                            name="serve-batcher", daemon=True)
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain remaining requests and join the worker."""
+        worker = self._worker
+        if worker is None:
+            return
+        with self._wakeup:
+            self._stopping = True
+            self._wakeup.notify_all()
+        worker.join()
+        self._worker = None
+        self.flush()  # anything submitted after the worker observed stop
+
+    def __enter__(self) -> "BatchingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch(wait=True)
+            if batch is None:  # stop requested, queue empty
+                return
+            if batch:
+                self._process(batch)
+
+    # -- batching core ----------------------------------------------------
+    def _take_batch(self, wait: bool):
+        """Pop the next micro-batch: same-kind prefix of the queue, up to
+        ``max_batch_size`` windows.
+
+        In waiting mode, blocks until the batch is full, the oldest
+        request exceeds the max-wait deadline, or stop is requested
+        (``None`` means: stopping and nothing left).
+        """
+        max_windows = self.config.max_batch_size
+        deadline_s = self.config.max_wait_ms / 1e3
+        with self._wakeup:
+            if wait:
+                while True:
+                    if self._queue:
+                        oldest = self._queue[0].submitted
+                        if (self._full_locked(max_windows)
+                                or time.perf_counter() - oldest >= deadline_s
+                                or self._stopping):
+                            break
+                        remaining = deadline_s - (time.perf_counter() - oldest)
+                        self._wakeup.wait(timeout=max(remaining, 1e-4))
+                    elif self._stopping:
+                        return None
+                    else:
+                        self._wakeup.wait()
+            if not self._queue:
+                return []
+            kind = self._queue[0].kind
+            batch, windows = [], 0
+            while (self._queue and self._queue[0].kind == kind
+                   and (not batch
+                        or windows + self._queue[0].windows <= max_windows)):
+                request = self._queue.pop(0)
+                windows += request.windows
+                batch.append(request)
+            return batch
+
+    def _full_locked(self, max_windows: int) -> bool:
+        kind = self._queue[0].kind
+        windows = 0
+        for request in self._queue:
+            if request.kind != kind:
+                return True  # a kind boundary closes the batch
+            windows += request.windows
+            if windows >= max_windows:
+                return True
+        return False
+
+    def _process(self, batch: list[InferenceRequest]) -> None:
+        """Run one coalesced micro-batch: cache lookups, a single forward
+        pass for the misses, scatter, cache fill, latency accounting."""
+        kind = batch[0].kind
+        cached: dict[int, object] = {}
+        misses: list[int] = []
+        if self.cache is not None:
+            for i, request in enumerate(batch):
+                hit = self.cache.get(self.loaded.fingerprint, request.digest,
+                                     kind)
+                if hit is None:
+                    misses.append(i)
+                else:
+                    cached[i] = hit
+        else:
+            misses = list(range(len(batch)))
+
+        try:
+            results = self._forward(kind, [batch[i].x for i in misses])
+        except BaseException as error:  # scatter failure to every waiter
+            for request in batch:
+                request._fulfil(None, error)
+            return
+
+        for i, value in zip(misses, results):
+            if self.cache is not None:
+                value = self.cache.put(self.loaded.fingerprint,
+                                       batch[i].digest, value, kind)
+            cached[i] = value
+        now = time.perf_counter()
+        for i, request in enumerate(batch):
+            self.latency[kind].record(now - request.submitted)
+            self.windows_served += request.windows
+            request._fulfil(cached[i])
+        self.batches_run += 1
+
+    def _forward(self, kind: str, inputs: list[np.ndarray]) -> list:
+        """One fused eval/no-grad pass over the concatenated misses,
+        split back per request."""
+        if not inputs:
+            return []
+        stacked = inputs[0] if len(inputs) == 1 else np.concatenate(inputs)
+        with nn.use_fused(self.config.use_fused):
+            if kind == "encode":
+                timestamp, instance = self.loaded.model.encode(stacked)
+                ci = self.loaded.config.channel_independence
+                channels = self.loaded.config.input_channels if ci else 1
+                results, ts_row, inst_row = [], 0, 0
+                for x in inputs:
+                    n = x.shape[0]
+                    results.append((timestamp[ts_row:ts_row + n * channels],
+                                    instance[inst_row:inst_row + n * channels]))
+                    ts_row += n * channels
+                    inst_row += n * channels
+                return results
+            prediction = self.loaded.model.predict(stacked)
+            results, row = [], 0
+            for x in inputs:
+                results.append(prediction[row:row + x.shape[0]])
+                row += x.shape[0]
+            return results

@@ -1,0 +1,122 @@
+"""LRU cache of inference results keyed by (model fingerprint, input digest).
+
+TimeDRL's instance-level embeddings are deterministic functions of
+(frozen weights, input window) — eval-mode dropout is the identity — so
+repeated windows (dashboards re-scoring the same recent history, retries,
+overlapping strides) can be answered from memory.  The fingerprint half
+of the key is the checkpoint's ``content_sha256``, so a cache shared
+across model reloads can never serve stale embeddings after weights
+change.
+
+Values are stored with ``writeable=False``: a hit hands back the same
+array contents every time, and no caller can corrupt the cached copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmbeddingCache", "CacheStats", "input_digest"]
+
+
+def input_digest(x: np.ndarray) -> str:
+    """Content digest of one input array: bytes + shape + dtype.
+
+    Shape and dtype are folded in so e.g. ``(2, 8, 1)`` and ``(1, 16, 1)``
+    views over the same buffer cannot collide.
+    """
+    arr = np.ascontiguousarray(x)
+    digest = hashlib.sha256()
+    digest.update(str(arr.shape).encode())
+    digest.update(str(arr.dtype).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot surfaced through telemetry and the latency report."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": self.size,
+                "capacity": self.capacity, "hit_rate": self.hit_rate}
+
+
+class EmbeddingCache:
+    """Bounded LRU mapping ``(fingerprint, input digest, kind)`` to results.
+
+    A *result* is whatever the engine computed for one request — the
+    ``(timestamp_emb, instance_emb)`` tuple for encode requests, the
+    prediction array for predict requests.  Arrays are frozen
+    (``writeable=False``) on insertion.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str, digest: str, kind: str = "encode"):
+        """Return the cached result or ``None`` (and count hit/miss)."""
+        key = (fingerprint, digest, kind)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, fingerprint: str, digest: str, value, kind: str = "encode"):
+        """Insert (or refresh) a result, evicting the LRU entry if full."""
+        key = (fingerprint, digest, kind)
+        frozen = _freeze(value)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries[key] = frozen
+        return frozen
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          evictions=self._evictions, size=len(self._entries),
+                          capacity=self.capacity)
+
+
+def _freeze(value):
+    """Recursively mark arrays read-only (tuples/lists of arrays allowed)."""
+    if isinstance(value, np.ndarray):
+        value = np.ascontiguousarray(value)
+        value.flags.writeable = False
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_freeze(item) for item in value)
+    return value

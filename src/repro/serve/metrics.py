@@ -1,0 +1,85 @@
+"""Request-latency accounting for the serving engine.
+
+A :class:`LatencyHistogram` is a streaming recorder of per-request
+latencies; :func:`latency_report` renders one or more of them (plus
+throughput and cache counters) into the JSON latency-report format the
+``repro serve`` CLI emits and ``docs/serving.md`` documents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "latency_report"]
+
+
+class LatencyHistogram:
+    """Streaming per-request latency recorder with percentile summaries.
+
+    Records raw samples (seconds) and summarises them as milliseconds —
+    serving latencies at this scale are single-digit milliseconds, and
+    the report format keeps one unit throughout.
+    """
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile in milliseconds (NaN when empty)."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q) * 1e3)
+
+    def summary(self) -> dict:
+        """``{count, mean_ms, p50_ms, p95_ms, max_ms}`` for the report."""
+        if not self._samples:
+            return {"count": 0, "mean_ms": None, "p50_ms": None,
+                    "p95_ms": None, "max_ms": None}
+        arr = np.asarray(self._samples) * 1e3
+        return {"count": int(arr.size),
+                "mean_ms": float(arr.mean()),
+                "p50_ms": float(np.percentile(arr, 50)),
+                "p95_ms": float(np.percentile(arr, 95)),
+                "max_ms": float(arr.max())}
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        self._samples.extend(other._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+def latency_report(histograms: dict[str, LatencyHistogram],
+                   windows: int, elapsed_s: float,
+                   cache_stats: dict | None = None,
+                   **extra) -> dict:
+    """Assemble the serving latency report.
+
+    ``windows`` / ``elapsed_s`` give end-to-end throughput; per-kind
+    latency summaries come from the histograms; ``cache_stats`` is the
+    :meth:`repro.serve.EmbeddingCache.stats` dict when a cache is wired.
+    """
+    report = {
+        "throughput": {
+            "windows": int(windows),
+            "elapsed_s": float(elapsed_s),
+            "windows_per_s": (float(windows / elapsed_s)
+                              if elapsed_s > 0 else None),
+        },
+        "latency_ms": {name: hist.summary()
+                       for name, hist in histograms.items()},
+    }
+    if cache_stats is not None:
+        report["cache"] = dict(cache_stats)
+    report.update(extra)
+    return report

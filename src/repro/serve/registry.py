@@ -1,0 +1,184 @@
+"""Model registry: from checkpoint archives to a warm, validated pool.
+
+The registry is the serving subsystem's only door to disk.  It resolves
+a *source* — a ``ckpt-*.npz`` file, a checkpoint directory, or a
+telemetry run id — through :class:`~repro.checkpoint.CheckpointManager`
+(so every load is checksum-verified), rebuilds the model from the
+self-describing checkpoint meta (``model_config`` / ``data_spec``,
+stored there by the training loop exactly for this hand-off), and keeps
+the result warm in an in-process pool keyed by the caller's alias.
+
+Every loaded model carries the checkpoint's ``content_sha256`` as its
+*fingerprint* — the cache-key half that guarantees an
+:class:`~repro.serve.EmbeddingCache` can never serve embeddings from a
+different set of weights.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..checkpoint.manager import CheckpointManager
+from ..core.config import TimeDRLConfig
+from ..core.model import TimeDRL
+
+__all__ = ["ModelRegistry", "LoadedModel", "RegistryError", "ShapeMismatch"]
+
+
+class RegistryError(RuntimeError):
+    """A model could not be resolved, rebuilt, or validated."""
+
+
+class ShapeMismatch(RegistryError):
+    """Request input shape disagrees with the checkpoint's data spec."""
+
+
+@dataclass
+class LoadedModel:
+    """One servable model plus the provenance the engine needs."""
+
+    model: TimeDRL
+    fingerprint: str
+    config: TimeDRLConfig
+    meta: dict = field(default_factory=dict)
+    source: str = ""
+
+    @property
+    def data_spec(self) -> dict | None:
+        return self.meta.get("data_spec")
+
+    def validate_input(self, x: np.ndarray) -> np.ndarray:
+        """Check a request batch against the model's expected geometry.
+
+        Validates ``(B, seq_len, input_channels)`` against the model
+        config and, when the checkpoint carries a data spec, cross-checks
+        the spec's ``seq_len`` too (a stale spec would mean the archive
+        was trained on different windows than it claims).  Returns the
+        array as contiguous float32, the dtype the substrate computes in.
+        """
+        x = np.asarray(x)
+        if x.ndim != 3:
+            raise ShapeMismatch(
+                f"expected a (B, T, C) batch of raw windows, got shape {x.shape}")
+        expected = (self.config.seq_len, self.config.input_channels)
+        if x.shape[1:] != expected:
+            raise ShapeMismatch(
+                f"window shape {x.shape[1:]} does not match the checkpoint's "
+                f"(seq_len, channels) = {expected} (source: {self.source})")
+        spec = self.data_spec
+        if spec and "seq_len" in spec and spec["seq_len"] != self.config.seq_len:
+            raise ShapeMismatch(
+                f"checkpoint data spec declares seq_len={spec['seq_len']} but "
+                f"the model config says {self.config.seq_len}; refusing to "
+                "serve an inconsistent archive")
+        return np.ascontiguousarray(x, dtype=np.float32)
+
+
+class ModelRegistry:
+    """Warm pool of checkpoint-backed models, keyed by alias.
+
+    ``get(alias)`` returns a previously loaded model without touching
+    disk; ``load(source, alias=...)`` populates the pool.  A telemetry
+    ``run`` (optional) receives one ``message`` event per load.
+    """
+
+    def __init__(self, run=None):
+        self._pool: dict[str, LoadedModel] = {}
+        self._run = run
+
+    # -- pool ------------------------------------------------------------
+    def __contains__(self, alias: str) -> bool:
+        return alias in self._pool
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def aliases(self) -> list[str]:
+        return sorted(self._pool)
+
+    def get(self, alias: str) -> LoadedModel:
+        try:
+            return self._pool[alias]
+        except KeyError:
+            raise RegistryError(
+                f"no model loaded under alias {alias!r}; "
+                f"known: {self.aliases() or 'none'}") from None
+
+    def register(self, alias: str, model: TimeDRL, fingerprint: str,
+                 meta: dict | None = None, source: str = "<memory>"
+                 ) -> LoadedModel:
+        """Adopt an already-built model (tests, benchmarks, notebooks)."""
+        model.eval()
+        loaded = LoadedModel(model=model, fingerprint=fingerprint,
+                             config=model.config, meta=meta or {},
+                             source=source)
+        self._pool[alias] = loaded
+        return loaded
+
+    # -- loading ---------------------------------------------------------
+    def load(self, source, alias: str | None = None,
+             run_root="results/runs") -> LoadedModel:
+        """Resolve ``source`` and pull the model into the warm pool.
+
+        ``source`` may be a checkpoint file (``ckpt-*.npz``), a checkpoint
+        directory (the newest valid archive wins), or a telemetry run id /
+        run directory (its ``checkpoints/`` subdirectory is used).
+        """
+        path = pathlib.Path(source)
+        if path.is_file():
+            state, meta = CheckpointManager(path.parent).load(path)
+        elif path.is_dir() and not (path / "manifest.json").is_file():
+            state, meta = self._load_dir(path)
+        else:
+            path = self._resolve_run(source, run_root)
+            state, meta = self._load_dir(path)
+        loaded = self._build(state, meta, str(path))
+        self._pool[alias or str(source)] = loaded
+        if self._run is not None and getattr(self._run, "enabled", False):
+            self._run.emit("message",
+                           text=f"serve: loaded {loaded.source} "
+                                f"fingerprint={loaded.fingerprint[:12]}")
+        return loaded
+
+    def _load_dir(self, directory: pathlib.Path):
+        loaded = CheckpointManager(directory).load_latest()
+        if loaded is None:
+            raise RegistryError(f"no valid checkpoint under {directory}")
+        return loaded
+
+    def _resolve_run(self, identifier, run_root) -> pathlib.Path:
+        from ..telemetry.registry import find_run
+        try:
+            run = find_run(str(identifier), root=run_root)
+        except (FileNotFoundError, ValueError) as error:
+            raise RegistryError(
+                f"cannot resolve {identifier!r} as a checkpoint file, "
+                f"directory, or run id: {error}") from error
+        directory = pathlib.Path(run.directory) / "checkpoints"
+        if not directory.is_dir():
+            raise RegistryError(
+                f"run {identifier!r} has no checkpoints/ directory "
+                f"(was it trained with checkpointing enabled?)")
+        return directory
+
+    def _build(self, state, meta: dict, source: str) -> LoadedModel:
+        model_config = meta.get("model_config")
+        if not model_config:
+            raise RegistryError(
+                f"checkpoint {source} carries no model_config meta; only "
+                "pre-training checkpoints are servable")
+        try:
+            config = TimeDRLConfig(**model_config)
+        except (TypeError, ValueError) as error:
+            raise RegistryError(
+                f"checkpoint {source} has an invalid model_config: {error}"
+            ) from error
+        model = TimeDRL(config)
+        model.load_state_dict(state.model_state, strict=True)
+        model.eval()
+        fingerprint = meta.get("content_sha256") or "unfingerprinted"
+        return LoadedModel(model=model, fingerprint=fingerprint,
+                           config=config, meta=meta, source=source)

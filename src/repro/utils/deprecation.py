@@ -1,0 +1,17 @@
+"""One-liner for the legacy-API shims kept through the inference redesign."""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit a ``DeprecationWarning`` pointing callers at the replacement.
+
+    ``stacklevel=3`` attributes the warning to the caller of the
+    deprecated method (skipping this helper and the shim itself).
+    """
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)

@@ -1,0 +1,108 @@
+"""EmbeddingCache: LRU semantics, counters, digest keys, immutability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import CacheStats, EmbeddingCache, input_digest
+
+
+def _arr(seed: int, shape=(4,)) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestInputDigest:
+    def test_deterministic(self):
+        x = _arr(0, (2, 8, 3))
+        assert input_digest(x) == input_digest(x.copy())
+
+    def test_content_sensitive(self):
+        x = _arr(0, (2, 8, 3))
+        y = x.copy()
+        y[0, 0, 0] += 1.0
+        assert input_digest(x) != input_digest(y)
+
+    def test_shape_folded_in(self):
+        x = _arr(0, (2, 8, 1))
+        assert input_digest(x) != input_digest(x.reshape(1, 16, 1))
+
+    def test_dtype_folded_in(self):
+        x = np.zeros((3,), dtype=np.float32)
+        assert input_digest(x) != input_digest(x.astype(np.float64))
+
+
+class TestEmbeddingCache:
+    def test_miss_then_hit(self):
+        cache = EmbeddingCache(capacity=4)
+        assert cache.get("fp", "d1") is None
+        cache.put("fp", "d1", _arr(1))
+        hit = cache.get("fp", "d1")
+        np.testing.assert_array_equal(hit, _arr(1))
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_hit_returns_identical_contents_every_time(self):
+        cache = EmbeddingCache(capacity=4)
+        stored = cache.put("fp", "d", (_arr(2), _arr(3)))
+        first = cache.get("fp", "d")
+        second = cache.get("fp", "d")
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        assert first[0] is stored[0]  # no copies, same frozen arrays
+
+    def test_fingerprint_isolates_models(self):
+        cache = EmbeddingCache(capacity=4)
+        cache.put("model-a", "d", _arr(1))
+        assert cache.get("model-b", "d") is None
+
+    def test_kind_isolates_results(self):
+        cache = EmbeddingCache(capacity=4)
+        cache.put("fp", "d", _arr(1), kind="encode")
+        assert cache.get("fp", "d", kind="predict") is None
+
+    def test_lru_eviction_order_and_counter(self):
+        cache = EmbeddingCache(capacity=2)
+        cache.put("fp", "a", _arr(1))
+        cache.put("fp", "b", _arr(2))
+        cache.get("fp", "a")          # refresh a; b is now LRU
+        cache.put("fp", "c", _arr(3))  # evicts b
+        assert cache.get("fp", "b") is None
+        assert cache.get("fp", "a") is not None
+        assert cache.get("fp", "c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_refresh_does_not_evict(self):
+        cache = EmbeddingCache(capacity=2)
+        cache.put("fp", "a", _arr(1))
+        cache.put("fp", "b", _arr(2))
+        cache.put("fp", "a", _arr(4))  # overwrite in place
+        assert cache.stats().evictions == 0
+        assert len(cache) == 2
+        np.testing.assert_array_equal(cache.get("fp", "a"), _arr(4))
+
+    def test_cached_arrays_are_frozen(self):
+        cache = EmbeddingCache(capacity=2)
+        stored = cache.put("fp", "a", (_arr(1), _arr(2)))
+        with pytest.raises(ValueError):
+            stored[0][0] = 99.0
+        with pytest.raises(ValueError):
+            cache.get("fp", "a")[1][0] = 99.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EmbeddingCache(capacity=0)
+
+    def test_stats_snapshot(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.put("fp", "a", _arr(1))
+        cache.get("fp", "a")
+        cache.get("fp", "zzz")
+        stats = cache.stats()
+        assert stats == CacheStats(hits=1, misses=1, evictions=0,
+                                   size=1, capacity=8)
+        assert stats.hit_rate == 0.5
+        assert stats.as_dict()["hit_rate"] == 0.5
+
+    def test_empty_hit_rate_is_zero(self):
+        assert EmbeddingCache(4).stats().hit_rate == 0.0

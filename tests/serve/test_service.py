@@ -1,0 +1,148 @@
+"""InferenceService façade + ``repro serve`` CLI smoke tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import InferenceService, ServiceConfig
+from repro.telemetry import Run
+
+from .conftest import CHANNELS, SEQ_LEN
+
+
+@pytest.fixture()
+def service(checkpoint_dir):
+    return InferenceService.from_checkpoint(
+        checkpoint_dir, ServiceConfig(max_batch_size=16, cache_size=64))
+
+
+class TestServeWindows:
+    def test_encode_equivalence_any_request_size(self, service, windows):
+        direct_ts, direct_inst = service.loaded.model.encode(windows)
+        for request_size in (1, 5, 48):
+            ts, inst = service.serve_windows(windows,
+                                             request_size=request_size)
+            np.testing.assert_array_equal(ts, direct_ts)
+            np.testing.assert_array_equal(inst, direct_inst)
+
+    def test_predict_mode(self, service, windows):
+        direct = service.loaded.model.predict(windows)
+        served = service.serve_windows(windows, mode="predict",
+                                       request_size=7)
+        np.testing.assert_array_equal(served, direct)
+
+    def test_repeated_workload_hits_cache(self, service, windows):
+        service.serve_windows(windows[:16], request_size=1)
+        service.serve_windows(windows[:16], request_size=1)
+        stats = service.cache.stats()
+        assert stats.hits == 16 and stats.misses == 16
+        assert stats.hit_rate == 0.5
+
+    def test_request_size_validation(self, service, windows):
+        with pytest.raises(ValueError, match="request_size"):
+            service.serve_windows(windows, request_size=0)
+
+    def test_cache_can_be_disabled(self, checkpoint_dir, windows):
+        service = InferenceService.from_checkpoint(
+            checkpoint_dir, ServiceConfig(cache_size=0))
+        assert service.cache is None
+        ts, inst = service.serve_windows(windows[:4])
+        np.testing.assert_array_equal(
+            inst, service.loaded.model.encode(windows[:4])[1])
+
+
+class TestReport:
+    def test_report_structure(self, service, windows):
+        service.serve_windows(windows[:8], request_size=2)
+        report = service.report()
+        assert report["throughput"]["windows"] == 8
+        assert report["throughput"]["windows_per_s"] > 0
+        encode = report["latency_ms"]["encode"]
+        assert encode["count"] == 4
+        assert encode["p50_ms"] <= encode["p95_ms"] <= encode["max_ms"]
+        assert report["cache"]["capacity"] == 64
+        assert report["model"]["seq_len"] == SEQ_LEN
+        assert report["engine"]["batches_run"] >= 1
+        json.dumps(report)  # must be JSON-serializable as emitted by the CLI
+
+    def test_report_emits_telemetry_metric(self, checkpoint_dir, windows):
+        run = Run.in_memory()
+        service = InferenceService.from_checkpoint(
+            checkpoint_dir, ServiceConfig(cache_size=32), run=run)
+        service.serve_windows(windows[:8], request_size=1)
+        service.serve_windows(windows[:8], request_size=1)
+        service.report()
+        metrics = [e for e in run.memory.of_type("metric")
+                   if e.get("metric") == "serve_report"]
+        assert len(metrics) == 1
+        assert metrics[0]["windows_per_s"] > 0
+        assert metrics[0]["cache_hit_rate"] == 0.5
+        spans = [e for e in run.memory.of_type("span_start")
+                 if e.get("span") == "serve_windows"]
+        assert len(spans) == 2
+
+
+class TestCLI:
+    def test_serve_synthetic_smoke(self, checkpoint_dir, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        output_path = tmp_path / "emb.npz"
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     "--synthetic", "12", "--repeats", "2",
+                     "--batch-size", "8",
+                     "--report", str(report_path),
+                     "--output", str(output_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["throughput"]["windows"] == 24
+        assert report["cache"]["hit_rate"] == 0.5  # second repeat all hits
+        payload = np.load(output_path)
+        assert payload["timestamp"].ndim == 3
+        assert payload["instance"].ndim == 2
+        out = capsys.readouterr().out
+        assert "windows/s" in out and "hit rate" in out
+
+    def test_serve_predict_mode(self, checkpoint_dir, tmp_path):
+        output_path = tmp_path / "pred.npz"
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     "--mode", "predict", "--synthetic", "6",
+                     "--output", str(output_path)])
+        assert code == 0
+        assert np.load(output_path)["prediction"].shape[0] == 6
+
+    def test_serve_npz_input(self, checkpoint_dir, tmp_path, windows):
+        input_path = tmp_path / "input.npz"
+        np.savez(input_path, windows=windows[:5])
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     "--input", str(input_path)])
+        assert code == 0
+
+    def test_serve_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--checkpoint", str(tmp_path / "nowhere"),
+                     "--synthetic", "2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_shape_mismatch_fails_cleanly(self, checkpoint_dir,
+                                                tmp_path, capsys):
+        input_path = tmp_path / "bad.npz"
+        np.savez(input_path, windows=np.zeros(
+            (3, SEQ_LEN + 4, CHANNELS), dtype=np.float32))
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     "--input", str(input_path)])
+        assert code == 1
+        assert "does not match" in capsys.readouterr().err
+
+    def test_serve_telemetry_run_recorded(self, checkpoint_dir, tmp_path):
+        run_root = tmp_path / "runs"
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     "--synthetic", "4", "--telemetry",
+                     "--run-root", str(run_root)])
+        assert code == 0
+        manifests = list(run_root.glob("*/manifest.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["status"] == "completed"

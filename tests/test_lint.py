@@ -6,13 +6,30 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "scripts"))
 
-from check_print import check_tree, print_calls  # noqa: E402
+from check_print import check_tree, main, print_calls  # noqa: E402
 
 
 class TestNoPrintInLibrary:
     def test_library_code_has_no_bare_print(self):
         violations = check_tree(REPO / "src" / "repro")
         assert violations == [], "\n".join(violations)
+
+    def test_serve_subsystem_has_no_bare_print(self):
+        # The serving stack reports through latency histograms and
+        # telemetry events; console output belongs to the CLI only.
+        violations = check_tree(REPO / "src" / "repro" / "serve")
+        assert violations == [], "\n".join(violations)
+
+    def test_multiple_roots_deduplicate(self, capsys):
+        code = main(["check_print", str(REPO / "src" / "repro"),
+                     str(REPO / "src" / "repro" / "serve")])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_missing_root_fails(self, capsys):
+        code = main(["check_print", str(REPO / "no-such-tree")])
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().out
 
     def test_detects_actual_call(self):
         assert print_calls("print('hi')\n") == [1]
