@@ -1,0 +1,140 @@
+"""Out-of-core loader benchmark: build rate, gather IO, prefetch overlap.
+
+Times the dataset-ladder pipeline end to end, per tier:
+
+* ``build_s``     — streaming ``build_store`` materialization rate;
+* ``io_epoch_s``  — one shuffled gather-only epoch over the open store
+  (the pure mmap-read floor);
+* ``naive_epoch_s``     — the pre-ladder strawman: re-``open_store`` for
+  every batch (manifest parse + per-shard header validation each time)
+  plus a fixed per-batch compute stand-in;
+* ``prefetch_epoch_s``  — the shipped path: one persistent mmap dataset
+  behind a :class:`PrefetchLoader`, the same compute stand-in overlapping
+  the background gathers.
+
+The compute stand-in is a ``time.sleep`` (releases the GIL, like the
+BLAS-bound forward/backward it models) so the overlap the prefetcher
+claims is actually measurable.  Emits ``BENCH_data.json`` at the repo
+root with one row per tier and asserts the shipped loader beats the
+strawman by >= 1.5x on the mid tier.
+
+Tiers build at a per-preset ``scale`` (see SCALES) with the real ladder
+schema and shard *count*, so smoke runs finish in seconds while full
+runs exercise the true 10k -> 10M rungs.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.data import DataLoader, build_ladder_tier, open_store
+from repro.data.store import DATA_LADDER
+
+from conftest import run_once
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_data.json"
+
+TIERS = ["smallest", "small", "mid"]
+SCALES = {"smoke": 0.002, "default": 0.01, "full": 1.0}
+BATCH_SIZE = 256
+COMPUTE_S = 0.001          # per-batch trainer stand-in (GIL-releasing sleep)
+SPEEDUP_FLOOR = 1.5        # acceptance: prefetched >= 1.5x naive on mid tier
+
+
+def _epoch_indices(n: int, seed: int) -> list[np.ndarray]:
+    order = np.arange(n)
+    np.random.default_rng(seed).shuffle(order)
+    return [order[i: i + BATCH_SIZE] for i in range(0, n, BATCH_SIZE)]
+
+
+def _time_io_epoch(root, batches) -> float:
+    with open_store(root) as dataset:
+        start = time.perf_counter()
+        for indices in batches:
+            dataset.batch(indices)
+        return time.perf_counter() - start
+
+
+def _time_naive_epoch(root, batches) -> float:
+    """The strawman loader: a fresh mmap open per batch, no overlap."""
+    start = time.perf_counter()
+    for indices in batches:
+        with open_store(root) as dataset:
+            dataset.batch(indices)
+        time.sleep(COMPUTE_S)
+    return time.perf_counter() - start
+
+
+def _time_prefetch_epoch(root, n: int, seed: int) -> float:
+    """The shipped loader: persistent maps + background double buffering."""
+    with open_store(root) as dataset:
+        loader = DataLoader(dataset, batch_size=BATCH_SIZE, shuffle=True,
+                            seed=seed, prefetch=True, prefetch_depth=2)
+        start = time.perf_counter()
+        for _x, _y in loader:
+            time.sleep(COMPUTE_S)
+        return time.perf_counter() - start
+
+
+def _measure_tier(root: pathlib.Path, tier: str, scale: float) -> dict:
+    build_start = time.perf_counter()
+    store = build_ladder_tier(root, tier, scale=scale)
+    build_s = time.perf_counter() - build_start
+
+    with open_store(store) as dataset:
+        n, nbytes = len(dataset), dataset.nbytes
+        shards = len(dataset.manifest.shards)
+    batches = _epoch_indices(n, seed=0)
+
+    io_epoch_s = _time_io_epoch(store, batches)
+    naive_epoch_s = _time_naive_epoch(store, batches)
+    prefetch_epoch_s = _time_prefetch_epoch(store, n, seed=0)
+
+    return {
+        "tier": tier,
+        "windows": n,
+        "full_tier_windows": DATA_LADDER[tier].windows,
+        "scale": scale,
+        "shards": shards,
+        "mbytes": round(nbytes / 1e6, 3),
+        "batch_size": BATCH_SIZE,
+        "compute_s_per_batch": COMPUTE_S,
+        "build_s": round(build_s, 4),
+        "build_mb_s": round(nbytes / 1e6 / build_s, 2),
+        "io_epoch_s": round(io_epoch_s, 4),
+        "naive_epoch_s": round(naive_epoch_s, 4),
+        "prefetch_epoch_s": round(prefetch_epoch_s, 4),
+        "naive_windows_s": round(n / naive_epoch_s, 1),
+        "prefetch_windows_s": round(n / prefetch_epoch_s, 1),
+        "prefetch_speedup": round(naive_epoch_s / prefetch_epoch_s, 3),
+    }
+
+
+def test_data_ladder_throughput(benchmark, preset, tmp_path):
+    scale = SCALES[preset.name]
+
+    def measure():
+        return [_measure_tier(tmp_path / "ladder", tier, scale)
+                for tier in TIERS]
+
+    rows = run_once(benchmark, measure)
+    payload = {"preset": preset.name, "tiers": rows,
+               "speedup_floor": SPEEDUP_FLOOR}
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    header = ("tier", "windows", "shards", "build_s", "io_s", "naive_s",
+              "prefetch_s", "speedup")
+    print(" | ".join(f"{h:>10}" for h in header))
+    for row in rows:
+        print(" | ".join(f"{row[k]:>10}" for k in (
+            "tier", "windows", "shards", "build_s", "io_epoch_s",
+            "naive_epoch_s", "prefetch_epoch_s", "prefetch_speedup")))
+
+    mid = next(row for row in rows if row["tier"] == "mid")
+    assert mid["prefetch_speedup"] >= SPEEDUP_FLOOR, (
+        f"prefetched epoch only {mid['prefetch_speedup']}x the naive "
+        f"mmap-per-batch loader on the mid tier (need {SPEEDUP_FLOOR}x)")

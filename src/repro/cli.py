@@ -8,6 +8,9 @@ Examples::
     python -m repro profile --steps 20 --sort-by self_s
     python -m repro table3 --datasets ETTh1 --checkpoint results/ckpt --resume
     python -m repro serve --checkpoint results/ckpt/ETTh1 --repeats 2 --report report.json
+    python -m repro data build --tier smallest --root results/data
+    python -m repro data info results/data/smallest
+    python -m repro data verify results/data/smallest
     python -m repro runs list
     python -m repro runs show 20260806-120301-a1b2c3 --svg losses.svg
     python -m repro runs resume 20260806-120301-a1b2c3
@@ -297,6 +300,77 @@ def _run_serve(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# ``repro data`` — build/inspect/verify on-disk window stores
+# ----------------------------------------------------------------------
+def _data_build(args) -> int:
+    """``repro data build`` — materialize ladder tiers (or a custom
+    synthetic corpus) as sharded on-disk stores."""
+    from .data import (DATA_LADDER, build_ladder_tier, build_store,
+                       open_store, synthetic_windows_spec)
+
+    built = []
+    if args.windows:
+        spec = synthetic_windows_spec(args.windows, seq_len=args.seq_len,
+                                      channels=args.channels, seed=args.seed)
+        root = pathlib.Path(args.root) / "custom"
+        built.append(build_store(spec, root, force=args.force))
+    else:
+        tiers = args.tier or ["smallest"]
+        if tiers == ["all"]:
+            tiers = list(DATA_LADDER)
+        for tier in tiers:
+            built.append(build_ladder_tier(
+                args.root, tier, seq_len=args.seq_len, channels=args.channels,
+                seed=args.seed, scale=args.scale, force=args.force))
+    for root in built:
+        with open_store(root) as store:
+            console_log(f"{root}: {len(store)} windows "
+                        f"{store.window_shape} {store.manifest.dtype}, "
+                        f"{len(store.manifest.shards)} shard(s), "
+                        f"{store.nbytes / 1e6:.1f} MB")
+    return 0
+
+
+def _data_info(args) -> int:
+    """``repro data info`` — print a store's manifest summary."""
+    from .data import open_store
+
+    with open_store(args.path) as store:
+        manifest = store.manifest
+        console_log(f"# Store {store.root}")
+        console_log(f"{'windows':>12}: {len(store)}")
+        console_log(f"{'window shape':>12}: {manifest.window_shape}")
+        console_log(f"{'dtype':>12}: {manifest.dtype}")
+        console_log(f"{'bytes':>12}: {store.nbytes}")
+        console_log(f"{'tier':>12}: {manifest.tier or '—'}")
+        console_log(f"{'spec':>12}: {json.dumps(manifest.spec, sort_keys=True)}")
+        console_log(f"{'shards':>12}: {len(manifest.shards)} "
+                    f"x {manifest.shard_rows} rows (last may be short)")
+        for shard in manifest.shards:
+            console_log(f"{'':>14}{shard.file}  rows={shard.rows:<8} "
+                        f"sha256={shard.sha256[:12]}")
+    return 0
+
+
+def _data_verify(args) -> int:
+    """``repro data verify`` — full checksum pass over every shard."""
+    from .data import DataValidationError, verify_store
+
+    try:
+        manifest = verify_store(args.path)
+    except DataValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    console_log(f"{args.path}: OK — {manifest.total_windows} windows in "
+                f"{len(manifest.shards)} shard(s), all checksums match")
+    return 0
+
+
+_DATA_COMMANDS = {"build": _data_build, "info": _data_info,
+                  "verify": _data_verify}
+
+
+# ----------------------------------------------------------------------
 # ``repro runs`` — inspect recorded telemetry runs
 # ----------------------------------------------------------------------
 def _format_value(value) -> str:
@@ -547,6 +621,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--run-root", type=pathlib.Path,
                        default=_DEFAULT_RUN_ROOT)
 
+    data = sub.add_parser(
+        "data", help="build/inspect/verify on-disk window stores "
+                     "(the out-of-core corpus ladder)")
+    data.set_defaults(experiment="data")
+    data_sub = data.add_subparsers(dest="data_command", required=True)
+    data_build = data_sub.add_parser(
+        "build", help="materialize ladder tiers as sharded stores")
+    data_build.add_argument("--root", type=pathlib.Path,
+                            default=pathlib.Path("results/data"),
+                            help="store root (one subdirectory per tier)")
+    data_build.add_argument("--tier", action="append", default=None,
+                            choices=("smallest", "small", "mid", "large", "all"),
+                            help="ladder tier to build (repeatable; "
+                                 "default smallest; 'all' builds every tier)")
+    data_build.add_argument("--windows", type=int, default=0,
+                            help="build a custom corpus of N windows "
+                                 "instead of a ladder tier")
+    data_build.add_argument("--scale", type=float, default=1.0,
+                            help="shrink tier window counts (CI/smoke builds)")
+    data_build.add_argument("--seq-len", type=int, default=64)
+    data_build.add_argument("--channels", type=int, default=7)
+    data_build.add_argument("--seed", type=int, default=0)
+    data_build.add_argument("--force", action="store_true",
+                            help="rebuild even if a conflicting store exists")
+    data_info = data_sub.add_parser(
+        "info", help="print a store's manifest summary")
+    data_info.add_argument("path", type=pathlib.Path, help="store directory")
+    data_verify = data_sub.add_parser(
+        "verify", help="re-hash every shard against the manifest checksums")
+    data_verify.add_argument("path", type=pathlib.Path, help="store directory")
+
     runs = sub.add_parser("runs", help="inspect recorded training runs")
     runs.set_defaults(experiment="runs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -622,6 +727,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "data":
+        from .data import DataValidationError
+
+        try:
+            return _DATA_COMMANDS[args.data_command](args)
+        except (DataValidationError, FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     if args.experiment == "runs":
         try:
             return _RUNS_COMMANDS[args.runs_command](args)

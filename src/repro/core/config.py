@@ -144,6 +144,13 @@ class PretrainConfig:
     weight_decay: float = 1e-2
     grad_clip: float = 5.0
     max_batches_per_epoch: int | None = None  # cap for CPU-scale runs
+    # Out-of-core loading: stage batches through a background
+    # PrefetchLoader so shard-gather IO overlaps the training step.
+    # Batch order and values are unchanged (the loader is a FIFO), so the
+    # trajectory stays bit-identical with prefetch on or off — see
+    # tests/data/test_ooc_equivalence.py.
+    prefetch: bool = False
+    prefetch_depth: int = 2
     verbose: bool = False
     profile: bool = False  # collect op-level stats via repro.nn.profiler
     telemetry: bool = False      # open a run directory and record events
@@ -163,6 +170,8 @@ class PretrainConfig:
     def __post_init__(self, runtime: RuntimeOptions | dict | None = None):
         if self.epochs < 1 or self.batch_size < 1:
             raise ValueError("epochs and batch_size must be >= 1")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if isinstance(runtime, dict):

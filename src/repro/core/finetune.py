@@ -19,6 +19,7 @@ the paper's use of instance normalisation + PatchTST conventions.
 from __future__ import annotations
 
 import pathlib
+from contextlib import closing
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,7 @@ from ..checkpoint import (
 )
 from ..data.datasets import ClassificationData, ForecastingData, ForecastingWindows
 from ..data.loader import batch_indices
+from ..data.prefetch import prefetch as _prefetch_batches
 from ..evaluation import metrics
 from ..evaluation.classification import linear_probe_classification
 from ..evaluation.forecasting import RidgeProbe, collect_forecast_features, ridge_probe_forecasting
@@ -249,11 +251,26 @@ def _label_subset(n: int, fraction: float, rng: np.random.Generator) -> np.ndarr
     return rng.choice(n, size=min(count, n), replace=False)
 
 
+def _labelled_batches(fetch, labelled: np.ndarray, batch_size: int,
+                      rng: np.random.Generator, use_prefetch: bool):
+    """One fine-tuning epoch's ``(x, y)`` batches, optionally staged
+    through the background prefetch loader (same FIFO order either way).
+    Consume under :func:`contextlib.closing` so an abandoned epoch joins
+    the worker thread."""
+
+    def generate():
+        for batch in batch_indices(len(labelled), batch_size, rng):
+            yield fetch(labelled[batch])
+
+    return _prefetch_batches(generate(), enabled=use_prefetch)
+
+
 def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                           label_fraction: float = 1.0, epochs: int = 5,
                           batch_size: int = 32, lr: float = 1e-3,
                           encoder_lr_scale: float = 0.1,
                           seed: int = 0, profile: bool = False,
+                          prefetch: bool = False,
                           run=None,
                           checkpoint: CheckpointConfig | None = None,
                           runtime: RuntimeOptions | None = None
@@ -277,6 +294,10 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
     ``runtime`` bundles the shared wiring (:class:`RuntimeOptions`); when
     given it is authoritative over the legacy ``profile=``/``checkpoint=``
     kwargs.
+
+    ``prefetch=True`` stages each epoch's labelled batches through the
+    background :class:`~repro.data.prefetch.PrefetchLoader`; batch order
+    and contents — and therefore the trajectory — are unchanged.
     """
     opts = resolve_runtime(runtime, profile=profile, checkpoint=checkpoint)
     profile, checkpoint = opts.profile, opts.checkpoint
@@ -301,10 +322,10 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
         _profiler.enable()
     for epoch in range(start_epoch, epochs):
         loss_sum, loss_batches = 0.0, 0
-        with run.span("finetune_epoch", task="forecasting", index=epoch):
-            for batch in batch_indices(len(labelled), batch_size, rng):
-                indices = labelled[batch]
-                x, y = data.train.batch(indices)
+        with run.span("finetune_epoch", task="forecasting", index=epoch), \
+                closing(_labelled_batches(data.train.batch, labelled,
+                                          batch_size, rng, prefetch)) as batches:
+            for x, y in batches:
                 mean, std = _window_stats(x)
                 target_norm = (y - mean) / std
                 x_patched = model.encoder.prepare_input(x)
@@ -378,6 +399,7 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                              batch_size: int = 32, lr: float = 1e-3,
                              encoder_lr_scale: float = 0.1,
                              seed: int = 0, profile: bool = False,
+                             prefetch: bool = False,
                              run=None,
                              checkpoint: CheckpointConfig | None = None,
                              runtime: RuntimeOptions | None = None
@@ -408,10 +430,11 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
         _profiler.enable()
     for epoch in range(start_epoch, epochs):
         loss_sum, loss_batches = 0.0, 0
-        with run.span("finetune_epoch", task="classification", index=epoch):
-            for batch in batch_indices(len(labelled), batch_size, rng):
-                indices = labelled[batch]
-                x, y = data.x_train[indices], data.y_train[indices]
+        with run.span("finetune_epoch", task="classification", index=epoch), \
+                closing(_labelled_batches(
+                    lambda idx: (data.x_train[idx], data.y_train[idx]),
+                    labelled, batch_size, rng, prefetch)) as batches:
+            for x, y in batches:
                 x_patched = model.encoder.prepare_input(x)
                 optimizer.zero_grad()
                 encoder_optimizer.zero_grad()

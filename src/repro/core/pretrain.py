@@ -44,6 +44,8 @@ from ..checkpoint import (
 )
 from ..data.datasets import ForecastingWindows
 from ..data.loader import batch_indices
+from ..data.prefetch import PrefetchLoader
+from ..data.store import ShardedDataset, resolve_data_source
 from ..nn import profiler
 from ..telemetry import NULL_RUN, ParamUpdateMeter, Run, console_log, grad_global_norm
 from ..utils.training import Timer, format_profile
@@ -71,10 +73,21 @@ class PretrainResult:
         return self.history[-1]["total"] if self.history else float("nan")
 
 
+def _batch_fetcher(data):
+    """Resolve ``data`` to ``(n_windows, fetch(indices) -> (B, T, C))``."""
+    if isinstance(data, ForecastingWindows):
+        return len(data), lambda indices: data.batch(indices)[0]
+    if isinstance(data, ShardedDataset):
+        return len(data), data.batch
+    samples = np.asarray(data)
+    return len(samples), lambda indices: samples[indices]
+
+
 def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
                              max_batches: int | None = None, skip: int = 0):
-    """Yield raw input batches ``(B, T, C)`` from either a
-    :class:`ForecastingWindows` split or a plain sample array.
+    """Yield raw input batches ``(B, T, C)`` from a
+    :class:`ForecastingWindows` split, an out-of-core
+    :class:`~repro.data.store.ShardedDataset`, or a plain sample array.
 
     ``skip`` drops the first N batches of the epoch *without fetching
     them* — the index permutation is still drawn identically from ``rng``,
@@ -82,24 +95,14 @@ def iterate_pretrain_batches(data, batch_size: int, rng: np.random.Generator,
     have.  Skipped batches count against ``max_batches`` (they were
     already consumed before the interruption).
     """
-    if isinstance(data, ForecastingWindows):
-        count = 0
-        for indices in batch_indices(len(data), batch_size, rng):
-            if count >= skip:
-                x, __ = data.batch(indices)
-                yield x
-            count += 1
-            if max_batches is not None and count >= max_batches:
-                return
-    else:
-        samples = np.asarray(data)
-        count = 0
-        for indices in batch_indices(len(samples), batch_size, rng):
-            if count >= skip:
-                yield samples[indices]
-            count += 1
-            if max_batches is not None and count >= max_batches:
-                return
+    size, fetch = _batch_fetcher(data)
+    count = 0
+    for indices in batch_indices(size, batch_size, rng):
+        if count >= skip:
+            yield fetch(indices)
+        count += 1
+        if max_batches is not None and count >= max_batches:
+            return
 
 
 def _profiler_alloc_bytes() -> float:
@@ -157,6 +160,7 @@ class _PretrainLoop:
         self.global_step = 0
         self.pending = None       # (sums, batches, samples) restored mid-epoch
         self.epoch_rng_state = None
+        self.active_loader = None  # PrefetchLoader of the epoch in flight
         # telemetry instruments (built in run_all, after any resume)
         self.meter = None
         self.epoch_timer = None
@@ -229,11 +233,22 @@ class _PretrainLoop:
             # batches go bad: checkpoint the untrained state.
             self.epoch_rng_state = rng_state(self.rng)
             self._save(0, {}, 0, 0, at_epoch_start=True)
-        while self.epoch < cfg.epochs:
-            try:
-                self._run_epoch()
-            except _Rollback:
-                self._rollback()
+        try:
+            while self.epoch < cfg.epochs:
+                try:
+                    self._run_epoch()
+                except _Rollback:
+                    # Join the prefetch worker before the restore touches
+                    # the loader RNG it shares.
+                    self._close_loader()
+                    self._rollback()
+        finally:
+            self._close_loader()
+
+    def _close_loader(self) -> None:
+        if self.active_loader is not None:
+            self.active_loader.close()
+            self.active_loader = None
 
     def _run_epoch(self) -> None:
         cfg = self.train_config
@@ -254,11 +269,16 @@ class _PretrainLoop:
             samples = 0
         batch_in_epoch = skip
 
+        source = iterate_pretrain_batches(self.data, cfg.batch_size, self.rng,
+                                          cfg.max_batches_per_epoch, skip=skip)
+        if cfg.prefetch:
+            # Double-buffered: the worker gathers batch k+1 while the
+            # step below runs on batch k.  FIFO order keeps the epoch
+            # bit-identical to the unprefetched path.
+            source = self.active_loader = PrefetchLoader(
+                source, depth=cfg.prefetch_depth)
         with self.run.span("epoch", index=epoch), (self.epoch_timer or _NULL_CTX):
-            for x in iterate_pretrain_batches(self.data, cfg.batch_size,
-                                              self.rng,
-                                              cfg.max_batches_per_epoch,
-                                              skip=skip):
+            for x in source:
                 step = self.global_step
                 self.optimizer.zero_grad()
                 losses = self.model.pretraining_losses(x)
@@ -321,6 +341,7 @@ class _PretrainLoop:
                 if self.hooks is not None:
                     self.hooks.on_batch_end(epoch, batch_in_epoch - 1, step)
 
+        self._close_loader()
         if batches == 0:
             raise ValueError("pre-training data yielded no batches")
         epoch_stats = {key: value / batches for key, value in sums.items()}
@@ -363,12 +384,20 @@ def _resolve_checkpoint_dir(ckpt_cfg, train_config, run) -> pathlib.Path:
     return pathlib.Path(train_config.run_root) / "checkpoints"
 
 
-def _checkpoint_extra_meta(model_config, train_config, ckpt_cfg) -> dict:
+def _checkpoint_extra_meta(model_config, train_config, ckpt_cfg, data) -> dict:
     """Self-description stored in every checkpoint so ``repro runs resume``
-    can rebuild the model/config/data without the original script."""
+    can rebuild the model/config/data without the original script.
+
+    When training from an on-disk store and no explicit spec was given,
+    the store's own ``kind='store'`` spec (path + generating spec from
+    the manifest) rides along, so out-of-core runs resume too.
+    """
+    data_spec = ckpt_cfg.data_spec
+    if data_spec is None and isinstance(data, ShardedDataset):
+        data_spec = data.store_spec()
     return {"model_config": dataclasses.asdict(model_config),
             "train_config": dataclasses.asdict(train_config),
-            "data_spec": ckpt_cfg.data_spec}
+            "data_spec": data_spec}
 
 
 def pretrain(model_config: TimeDRLConfig, data,
@@ -379,8 +408,13 @@ def pretrain(model_config: TimeDRLConfig, data,
     Parameters
     ----------
     data:
-        Either a :class:`ForecastingWindows` (forecasting) or an ndarray of
-        samples ``(N, T, C)`` (classification).  Labels are never consumed.
+        A :class:`ForecastingWindows` (forecasting), an ndarray of samples
+        ``(N, T, C)`` (classification), an out-of-core
+        :class:`~repro.data.store.ShardedDataset`, or a path to a store
+        directory built by ``repro data build`` (opened and memory-mapped
+        here).  Labels are never consumed.  With
+        ``train_config.prefetch=True`` batches are staged through a
+        background :class:`~repro.data.prefetch.PrefetchLoader`.
     run:
         Optional :class:`repro.telemetry.Run` to report into (the caller
         keeps ownership).  When omitted, ``train_config.telemetry=True``
@@ -394,6 +428,7 @@ def pretrain(model_config: TimeDRLConfig, data,
     PretrainResult with the trained model and per-epoch loss history.
     """
     train_config = train_config or PretrainConfig()
+    data = resolve_data_source(data)
     owns_run = False
     if run is None:
         if train_config.telemetry:
@@ -435,7 +470,7 @@ def pretrain(model_config: TimeDRLConfig, data,
                          history, manager=manager, recovery=recovery,
                          hooks=hooks,
                          extra_meta=(_checkpoint_extra_meta(
-                             model_config, train_config, ckpt_cfg)
+                             model_config, train_config, ckpt_cfg, data)
                              if ckpt_cfg is not None else None))
     resumed_from_step = None
     if resume_state is not None:

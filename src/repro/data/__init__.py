@@ -2,7 +2,10 @@
 
 Seeded synthetic stand-ins for the paper's 11 public benchmarks (no network
 in this environment; see DESIGN.md for the substitution rationale), plus
-windowing, splits, scaling and batch iteration.
+windowing, splits, scaling and batch iteration — and the out-of-core
+substrate: a chunked on-disk window store with a tiered corpus ladder
+(:mod:`repro.data.store`) and a double-buffered prefetching loader
+(:mod:`repro.data.prefetch`).  See docs/data.md.
 """
 
 from .datasets import (
@@ -22,6 +25,7 @@ from .io import (
     save_forecasting_csv,
 )
 from .loader import DataLoader, batch_indices
+from .prefetch import PrefetchLoader, prefetch
 from .registry import (
     CLASSIFICATION_DATASETS,
     FORECASTING_DATASETS,
@@ -31,7 +35,25 @@ from .registry import (
     load_forecasting_dataset,
 )
 from .scaler import StandardScaler
-from .specs import classification_spec, forecasting_spec, materialize_data_spec
+from .specs import (
+    classification_spec,
+    forecasting_spec,
+    iter_spec_windows,
+    materialize_data_spec,
+    store_spec,
+    synthetic_windows_spec,
+)
+from .store import (
+    DATA_LADDER,
+    LadderTier,
+    ShardedDataset,
+    StoreManifest,
+    build_ladder_tier,
+    build_store,
+    open_store,
+    resolve_data_source,
+    verify_store,
+)
 
 __all__ = [
     "ClassificationData", "ForecastingData", "ForecastingWindows",
@@ -46,4 +68,9 @@ __all__ = [
     "ForecastingDatasetInfo", "ClassificationDatasetInfo",
     "load_forecasting_dataset", "load_classification_dataset",
     "forecasting_spec", "classification_spec", "materialize_data_spec",
+    "synthetic_windows_spec", "store_spec", "iter_spec_windows",
+    "ShardedDataset", "StoreManifest", "build_store", "open_store",
+    "verify_store", "resolve_data_source",
+    "DATA_LADDER", "LadderTier", "build_ladder_tier",
+    "PrefetchLoader", "prefetch",
 ]

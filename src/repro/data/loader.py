@@ -6,6 +6,8 @@ from typing import Iterator
 
 import numpy as np
 
+from .prefetch import prefetch as _prefetch
+
 __all__ = ["batch_indices", "DataLoader"]
 
 
@@ -30,15 +32,24 @@ class DataLoader:
     """Iterate ``(x, y)`` mini-batches over an indexable dataset.
 
     Works with :class:`~repro.data.datasets.ForecastingWindows` (via its
-    ``batch`` method) or with plain ``(x, y)`` array pairs.
+    ``batch`` method), with plain ``(x, y)`` array pairs, or with an
+    unlabelled batch source exposing ``batch(indices) -> x`` such as
+    :class:`~repro.data.store.ShardedDataset` (``y`` comes back ``None``).
+
+    ``prefetch=True`` stages batches through a background
+    :class:`~repro.data.prefetch.PrefetchLoader` so gather IO overlaps
+    the consumer's compute; batch order and contents are unchanged.
     """
 
     def __init__(self, data, batch_size: int = 32, shuffle: bool = True,
-                 seed: int = 0, drop_last: bool = False):
+                 seed: int = 0, drop_last: bool = False,
+                 prefetch: bool = False, prefetch_depth: int = 2):
         self.data = data
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.prefetch = prefetch
+        self.prefetch_depth = prefetch_depth
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -52,11 +63,20 @@ class DataLoader:
             return len(self.data[0])
         return len(self.data)
 
-    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    def _fetch(self, indices: np.ndarray):
+        if isinstance(self.data, tuple):
+            x, y = self.data
+            return x[indices], y[indices]
+        batch = self.data.batch(indices)
+        if isinstance(batch, tuple):
+            return batch
+        return batch, None
+
+    def _generate(self):
         for indices in batch_indices(self._size(), self.batch_size, self._rng,
                                      shuffle=self.shuffle, drop_last=self.drop_last):
-            if isinstance(self.data, tuple):
-                x, y = self.data
-                yield x[indices], y[indices]
-            else:
-                yield self.data.batch(indices)
+            yield self._fetch(indices)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return iter(_prefetch(self._generate(), enabled=self.prefetch,
+                              depth=self.prefetch_depth))

@@ -73,6 +73,11 @@ def dataset_fingerprint(data) -> dict | None:
     """
     if data is None:
         return None
+    # Out-of-core stores know their own identity (manifest checksums) —
+    # never pull gigabytes of memory-mapped windows through asarray.
+    own_fingerprint = getattr(data, "dataset_fingerprint", None)
+    if callable(own_fingerprint):
+        return own_fingerprint()
     # Windowed or split containers expose their backing arrays.
     for attribute in ("series", "x_train"):
         inner = getattr(data, attribute, None)

@@ -1,0 +1,39 @@
+"""Fixtures for the out-of-core data suites.
+
+Everything here builds toy-scale corpora (hundreds of windows, KBs on
+disk) in ``tmp_path`` so CI needs no pre-built multi-GB ladder artifacts;
+see ``tests/helpers.py`` for the builders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import materialize_data_spec, open_store
+
+from tests.helpers import build_tiny_store, tiny_windows_spec
+
+
+@pytest.fixture()
+def tiny_spec():
+    """A small synthetic_windows spec (256 windows of (16, 2))."""
+    return tiny_windows_spec()
+
+
+@pytest.fixture()
+def tiny_store(tmp_path, tiny_spec):
+    """A built toy store directory for ``tiny_spec`` (4 shards)."""
+    return build_tiny_store(tmp_path / "store")
+
+
+@pytest.fixture()
+def tiny_store_windows(tiny_spec):
+    """The in-memory materialization the store must match bit for bit."""
+    return materialize_data_spec(tiny_spec)
+
+
+@pytest.fixture()
+def tiny_dataset(tiny_store):
+    """An opened ShardedDataset over the toy store."""
+    with open_store(tiny_store) as dataset:
+        yield dataset

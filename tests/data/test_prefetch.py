@@ -1,0 +1,169 @@
+"""Lifecycle tests for the background prefetch loader.
+
+Locks the three guarantees from ``repro.data.prefetch``: FIFO
+determinism under seeded shuffling, worker-exception transparency, and
+clean shutdown (no leaked threads, double-close safe, abandoning an
+epoch halfway unblocks the worker).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, PrefetchLoader, open_store, prefetch
+from repro.data.prefetch import THREAD_NAME
+
+
+def _assert_no_prefetch_threads():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate() if t.name == THREAD_NAME]
+        if not leaked:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked prefetch threads: {leaked}")
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Every test in this module must leave zero prefetch workers behind."""
+    _assert_no_prefetch_threads()
+    yield
+    _assert_no_prefetch_threads()
+
+
+class TestOrdering:
+    def test_fifo_preserves_source_order(self):
+        items = list(range(57))
+        with PrefetchLoader(iter(items), depth=3) as loader:
+            assert list(loader) == items
+
+    def test_deterministic_under_seeded_shuffling(self, tiny_store):
+        """Same seed -> identical batch sequence, prefetched or not."""
+        def batches(use_prefetch):
+            with open_store(tiny_store) as dataset:
+                loader = DataLoader(dataset, batch_size=32, shuffle=True,
+                                    seed=7, prefetch=use_prefetch)
+                return [x.copy() for x, _ in loader]
+
+        plain = batches(False)
+        prefetched = batches(True)
+        assert len(plain) == len(prefetched) == 8
+        for a, b in zip(plain, prefetched):
+            np.testing.assert_array_equal(a, b)
+
+    def test_depth_one_still_complete_and_ordered(self):
+        with PrefetchLoader(range(100), depth=1) as loader:
+            assert list(loader) == list(range(100))
+
+    def test_reshuffles_across_epochs(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, batch_size=64, seed=3, prefetch=True)
+        first = np.concatenate([x[:, 0, 0] for x, _ in loader])
+        second = np.concatenate([x[:, 0, 0] for x, _ in loader])
+        assert not np.array_equal(first, second)  # fresh permutation
+        np.testing.assert_array_equal(np.sort(first), np.sort(second))
+
+
+class TestErrorPropagation:
+    def test_worker_exception_reaches_consumer(self):
+        def faulty():
+            yield 1
+            yield 2
+            raise RuntimeError("shard went bad")
+
+        loader = PrefetchLoader(faulty())
+        assert next(loader) == 1
+        assert next(loader) == 2
+        with pytest.raises(RuntimeError, match="shard went bad"):
+            next(loader)
+        assert loader.closed
+
+    def test_immediate_source_error(self):
+        def broken():
+            raise ValueError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(ValueError, match="boom"):
+            next(PrefetchLoader(broken()))
+
+    def test_error_then_iteration_stops(self):
+        def faulty():
+            yield 1
+            raise KeyError("x")
+
+        loader = PrefetchLoader(faulty())
+        collected, caught = [], None
+        try:
+            for item in loader:
+                collected.append(item)
+        except KeyError as error:
+            caught = error
+        assert collected == [1] and caught is not None
+
+
+class TestShutdown:
+    def test_close_mid_iteration_joins_worker(self):
+        def endless():
+            i = 0
+            while True:
+                yield i
+                i += 1
+
+        loader = PrefetchLoader(endless(), depth=2)
+        assert next(loader) == 0
+        loader.close()
+        assert loader.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            next(loader)
+
+    def test_double_close_is_safe(self):
+        loader = PrefetchLoader(range(5))
+        loader.close()
+        loader.close()
+        with PrefetchLoader(range(5)) as ctx:
+            next(ctx)
+        ctx.close()  # third close after __exit__
+
+    def test_exhaustion_autocloses(self):
+        loader = PrefetchLoader(range(3))
+        assert list(loader) == [0, 1, 2]
+        assert loader.closed
+        with pytest.raises(StopIteration):
+            next(loader)  # exhausted stays StopIteration, not RuntimeError
+
+    def test_abandoned_epoch_does_not_leak(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, batch_size=16, prefetch=True,
+                            prefetch_depth=2)
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()  # consumer walks away after one batch
+
+    def test_generator_frame_released_on_close(self):
+        released = threading.Event()
+
+        def source():
+            try:
+                while True:
+                    yield 0
+            finally:
+                released.set()
+
+        loader = PrefetchLoader(source())
+        next(loader)
+        loader.close()
+        assert released.wait(timeout=5.0)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            PrefetchLoader(range(3), depth=0)
+
+    def test_prefetch_helper_disabled_is_passthrough(self):
+        source = iter([1, 2, 3])
+        assert prefetch(source, enabled=False) is source
+        with prefetch(source, enabled=True) as loader:
+            assert isinstance(loader, PrefetchLoader)
+            assert list(loader) == [1, 2, 3]

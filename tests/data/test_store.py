@@ -1,0 +1,289 @@
+"""Property + corruption tests for the sharded window store.
+
+Locks the two contracts from ``repro.data.store``:
+
+* round-trip bit-identity — for arbitrary specs and shard sizes, the
+  mmap-backed store reads back exactly the in-memory materialization;
+* validate-on-read — truncated shards, flipped bytes, stale or malformed
+  manifests raise a typed :class:`DataValidationError`, never garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataValidationError,
+    ShardedDataset,
+    StoreManifest,
+    build_ladder_tier,
+    build_store,
+    iter_spec_windows,
+    materialize_data_spec,
+    open_store,
+    synthetic_windows_spec,
+    verify_store,
+)
+from repro.data.store import MANIFEST_NAME
+
+from tests.helpers import build_tiny_ladder, build_tiny_store, tiny_windows_spec
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips
+# ----------------------------------------------------------------------
+class TestStoreRoundTrip:
+    @given(windows=st.integers(1, 220), seq_len=st.integers(1, 12),
+           channels=st.integers(1, 3), seed=st.integers(0, 2**16),
+           shard_rows=st.integers(1, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_build_then_read_is_bit_identical(self, windows, seq_len,
+                                              channels, seed, shard_rows):
+        """Arbitrary spec -> build -> mmap read == in-memory generation."""
+        spec = synthetic_windows_spec(windows, seq_len=seq_len,
+                                      channels=channels, seed=seed)
+        expected = materialize_data_spec(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            root = build_store(spec, Path(tmp) / "store", shard_rows=shard_rows)
+            with open_store(root) as dataset:
+                assert len(dataset) == windows
+                assert dataset.window_shape == (seq_len, channels)
+                assert dataset.dtype == expected.dtype
+                full = dataset.batch(np.arange(windows))
+        np.testing.assert_array_equal(full, expected)
+        assert full.dtype == expected.dtype
+
+    @given(windows=st.integers(8, 200), shard_rows=st.integers(1, 64),
+           seed=st.integers(0, 2**16), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_gather_matches_fancy_indexing(self, windows, shard_rows,
+                                                     seed, data):
+        """batch() with any order/duplicates == ndarray fancy indexing."""
+        indices = np.asarray(data.draw(st.lists(
+            st.integers(0, windows - 1), min_size=1, max_size=40)))
+        spec = synthetic_windows_spec(windows, seq_len=6, channels=2, seed=seed)
+        expected = materialize_data_spec(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            root = build_store(spec, tmp, shard_rows=shard_rows)
+            with open_store(root) as dataset:
+                got = dataset.batch(indices)
+        np.testing.assert_array_equal(got, expected[indices])
+
+    @given(chunk_rows=st.integers(1, 600))
+    @settings(max_examples=20, deadline=None)
+    def test_generation_is_chunk_invariant(self, chunk_rows):
+        """The streamed window sequence never depends on chunk size."""
+        spec = tiny_windows_spec(windows=150)
+        streamed = np.concatenate(list(iter_spec_windows(spec, chunk_rows)))
+        np.testing.assert_array_equal(streamed, materialize_data_spec(spec))
+
+    def test_rebuild_same_spec_is_noop(self, tmp_path, tiny_spec):
+        root = build_store(tiny_spec, tmp_path / "s", shard_rows=70)
+        before = (root / MANIFEST_NAME).read_bytes()
+        assert build_store(tiny_spec, root, shard_rows=70) == root
+        assert (root / MANIFEST_NAME).read_bytes() == before
+
+    def test_single_item_access(self, tiny_dataset, tiny_store_windows):
+        np.testing.assert_array_equal(tiny_dataset[17], tiny_store_windows[17])
+        np.testing.assert_array_equal(tiny_dataset[len(tiny_dataset) - 1],
+                                      tiny_store_windows[-1])
+
+    def test_verify_full_passes_on_clean_store(self, tiny_store, tiny_spec):
+        manifest = verify_store(tiny_store)
+        assert manifest.spec == tiny_spec
+        assert manifest.total_windows == sum(s.rows for s in manifest.shards)
+        assert len(manifest.shards) > 1
+
+    def test_fingerprint_stable_and_cheap(self, tmp_path, tiny_spec):
+        root_a = build_store(tiny_spec, tmp_path / "a", shard_rows=70)
+        root_b = build_store(tiny_spec, tmp_path / "b", shard_rows=70)
+        with open_store(root_a) as a, open_store(root_b) as b:
+            fp_a, fp_b = a.dataset_fingerprint(), b.dataset_fingerprint()
+        assert fp_a["sha256"] == fp_b["sha256"]
+        assert fp_a["shape"] == [256, 16, 2]
+
+    def test_ladder_tiers_build_fast_and_multi_shard(self, tmp_path):
+        """Satellite: tiny ladder corpora come up in tmp_path, multi-shard."""
+        ladder = build_tiny_ladder(tmp_path / "ladder")
+        assert set(ladder) == {"smallest", "small", "mid"}
+        for tier, root in ladder.items():
+            with open_store(root) as dataset:
+                assert len(dataset.manifest.shards) >= 4, tier
+                assert dataset.manifest.spec["kind"] == "synthetic_windows"
+
+    def test_scaled_real_ladder_tier(self, tmp_path):
+        root = build_ladder_tier(tmp_path, "smallest", scale=0.01,
+                                 seq_len=8, channels=2)
+        assert root == tmp_path / "smallest"
+        with open_store(root) as dataset:
+            assert dataset.manifest.tier == "smallest"
+            assert len(dataset) >= 64
+            assert len(dataset.manifest.shards) >= 4
+
+
+# ----------------------------------------------------------------------
+# Validate-on-read: every corruption is a typed error
+# ----------------------------------------------------------------------
+class TestStoreValidation:
+    def _manifest(self, root) -> dict:
+        return json.loads((root / MANIFEST_NAME).read_text())
+
+    def _write_manifest(self, root, payload) -> None:
+        (root / MANIFEST_NAME).write_text(json.dumps(payload))
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DataValidationError, match="no store manifest"):
+            open_store(tmp_path / "empty")
+
+    def test_corrupt_manifest_json(self, tiny_store):
+        (tiny_store / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(DataValidationError, match="corrupt manifest"):
+            open_store(tiny_store)
+
+    def test_wrong_format_marker(self, tiny_store):
+        payload = self._manifest(tiny_store)
+        payload["format"] = "parquet"
+        self._write_manifest(tiny_store, payload)
+        with pytest.raises(DataValidationError, match="not a repro-window-store"):
+            open_store(tiny_store)
+
+    def test_unsupported_version(self, tiny_store):
+        payload = self._manifest(tiny_store)
+        payload["version"] = 99
+        self._write_manifest(tiny_store, payload)
+        with pytest.raises(DataValidationError, match="unsupported store version"):
+            open_store(tiny_store)
+
+    def test_malformed_manifest_fields(self, tiny_store):
+        payload = self._manifest(tiny_store)
+        del payload["shards"][0]["rows"]
+        self._write_manifest(tiny_store, payload)
+        with pytest.raises(DataValidationError, match="malformed manifest"):
+            open_store(tiny_store)
+
+    def test_stale_manifest_row_count(self, tiny_store):
+        payload = self._manifest(tiny_store)
+        payload["total_windows"] += 5
+        self._write_manifest(tiny_store, payload)
+        with pytest.raises(DataValidationError, match="stale manifest"):
+            open_store(tiny_store)
+
+    def test_missing_shard(self, tiny_store):
+        (tiny_store / "shard-00001.npy").unlink()
+        with pytest.raises(DataValidationError, match="missing"):
+            open_store(tiny_store)
+
+    def test_truncated_shard(self, tiny_store):
+        shard = tiny_store / "shard-00000.npy"
+        shard.write_bytes(shard.read_bytes()[:-64])
+        with pytest.raises(DataValidationError,
+                           match="truncated or corrupt shard"):
+            open_store(tiny_store)
+
+    def test_shard_shape_disagrees_with_manifest(self, tiny_store):
+        # Replace a shard with a validly-formatted array of the wrong shape.
+        shard = tiny_store / "shard-00000.npy"
+        with shard.open("wb") as handle:
+            np.save(handle, np.zeros((3, 4, 5), dtype=np.float32))
+        with pytest.raises(DataValidationError, match="stale manifest"):
+            open_store(tiny_store)
+
+    def test_bit_flip_caught_by_full_verify_only(self, tiny_store):
+        shard = tiny_store / "shard-00002.npy"
+        raw = bytearray(shard.read_bytes())
+        raw[-1] ^= 0xFF  # flip data bytes, keep size/header intact
+        shard.write_bytes(bytes(raw))
+        open_store(tiny_store, verify="shallow").close()
+        with pytest.raises(DataValidationError, match="checksum mismatch"):
+            open_store(tiny_store, verify="full")
+        with pytest.raises(DataValidationError, match="checksum mismatch"):
+            verify_store(tiny_store)
+
+    def test_error_names_offending_file(self, tiny_store):
+        shard = tiny_store / "shard-00001.npy"
+        shard.write_bytes(shard.read_bytes()[:-64])
+        with pytest.raises(DataValidationError) as excinfo:
+            open_store(tiny_store)
+        assert "shard-00001.npy" in str(excinfo.value)
+
+    def test_conflicting_rebuild_requires_force(self, tmp_path, tiny_spec):
+        root = build_store(tiny_spec, tmp_path / "s", shard_rows=70)
+        other = tiny_windows_spec(windows=256, seed=9)
+        with pytest.raises(DataValidationError, match="already exists"):
+            build_store(other, root, shard_rows=70)
+        build_store(other, root, shard_rows=32, force=True)
+        with open_store(root) as dataset:
+            assert dataset.manifest.spec == other
+            np.testing.assert_array_equal(dataset.batch(np.arange(len(dataset))),
+                                          materialize_data_spec(other))
+
+    def test_force_rebuild_removes_stale_shards(self, tmp_path, tiny_spec):
+        root = build_store(tiny_spec, tmp_path / "s", shard_rows=16)  # 16 shards
+        build_store(tiny_windows_spec(windows=64), root, shard_rows=32,
+                    force=True)
+        assert sorted(p.name for p in root.glob("shard-*.npy")) == [
+            "shard-00000.npy", "shard-00001.npy"]
+        verify_store(root)
+
+    def test_invalid_verify_level(self, tiny_store):
+        with pytest.raises(ValueError, match="verify must be"):
+            open_store(tiny_store, verify="paranoid")
+
+    def test_manifest_from_dict_rejects_non_dict(self, tiny_store):
+        (tiny_store / MANIFEST_NAME).write_text("[1, 2]")
+        with pytest.raises(DataValidationError, match="not an object"):
+            open_store(tiny_store)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestDatasetLifecycle:
+    def test_close_is_idempotent_and_blocks_reads(self, tiny_store):
+        dataset = open_store(tiny_store)
+        assert not dataset.closed
+        dataset.close()
+        dataset.close()
+        assert dataset.closed
+        with pytest.raises(RuntimeError, match="store is closed"):
+            dataset.batch(np.arange(4))
+
+    def test_out_of_range_indices(self, tiny_dataset):
+        with pytest.raises(IndexError):
+            tiny_dataset.batch(np.asarray([len(tiny_dataset)]))
+        with pytest.raises(IndexError):
+            tiny_dataset.batch(np.asarray([-1]))
+
+    def test_empty_gather(self, tiny_dataset):
+        out = tiny_dataset.batch(np.asarray([], dtype=np.int64))
+        assert out.shape == (0, *tiny_dataset.window_shape)
+
+    def test_nbytes_and_repr(self, tiny_dataset):
+        assert tiny_dataset.nbytes == 256 * 16 * 2 * 4
+        text = repr(tiny_dataset)
+        assert "windows=256" in text and "ShardedDataset" in text
+
+    def test_no_background_threads(self, tiny_store):
+        """Plain mmap reads never spawn workers (prefetch is opt-in)."""
+        before = set(threading.enumerate())
+        with open_store(tiny_store) as dataset:
+            dataset.batch(np.arange(64))
+        assert set(threading.enumerate()) == before
+
+    def test_manifest_dict_round_trip(self, tiny_store):
+        payload = json.loads((tiny_store / MANIFEST_NAME).read_text())
+        manifest = StoreManifest.from_dict(payload, tiny_store / MANIFEST_NAME)
+        assert manifest.to_dict() == payload
+
+    def test_build_rejects_degenerate_args(self, tmp_path, tiny_spec):
+        with pytest.raises(ValueError, match="shard_rows"):
+            build_store(tiny_spec, tmp_path / "s", shard_rows=0)

@@ -1,10 +1,53 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: finite-difference gradient checking and tiny
+out-of-core corpus builders.
+
+The ladder helpers build real sharded stores (manifest + multiple
+``.npy`` shards) in a test's ``tmp_path`` but at toy scale — a few
+hundred windows, kilobytes on disk — so the out-of-core suites exercise
+the full build → validate → mmap-gather path without multi-GB artifacts
+or slow CI.
+"""
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 
+from repro.data import build_store, synthetic_windows_spec
 from repro.nn import Tensor
+
+# Toy ladder: same multi-shard layout as the real DATA_LADDER, CI-sized.
+TINY_LADDER = {"smallest": 96, "small": 256, "mid": 640}
+
+
+def tiny_windows_spec(windows: int = 256, seq_len: int = 16, channels: int = 2,
+                      seed: int = 0) -> dict:
+    """A synthetic_windows spec sized for tests (sub-second to build)."""
+    return synthetic_windows_spec(windows, seq_len=seq_len, channels=channels,
+                                  seed=seed)
+
+
+def build_tiny_store(root, windows: int = 256, seq_len: int = 16,
+                     channels: int = 2, seed: int = 0,
+                     shard_rows: int = 70) -> pathlib.Path:
+    """Build one toy store (several shards, uneven last shard) under
+    ``root`` and return its path."""
+    spec = tiny_windows_spec(windows, seq_len=seq_len, channels=channels,
+                             seed=seed)
+    return build_store(spec, root, shard_rows=shard_rows)
+
+
+def build_tiny_ladder(root, seq_len: int = 16, channels: int = 2,
+                      seed: int = 0) -> dict[str, pathlib.Path]:
+    """Build the whole toy ladder under ``root``; returns tier -> path."""
+    root = pathlib.Path(root)
+    return {
+        tier: build_tiny_store(root / tier, windows=windows, seq_len=seq_len,
+                               channels=channels, seed=seed,
+                               shard_rows=max(windows // 4, 1))
+        for tier, windows in TINY_LADDER.items()
+    }
 
 
 def numeric_gradient(func, values: list[np.ndarray], index: int, eps: float = 1e-5) -> np.ndarray:
