@@ -28,10 +28,12 @@ import hashlib
 import io
 import json
 import pathlib
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import get_registry as _obs_registry
 from ..telemetry import console_log
 from ..utils.fileio import atomic_write_bytes, atomic_write_text, read_with_retry
 from .state import TrainingState
@@ -202,10 +204,19 @@ class CheckpointManager:
         ``metrics`` feeds the best-by-metric retention marker (typically
         the running epoch-mean losses at the save point).
         """
+        save_started = time.perf_counter()
         payload = _pack(state, extra_meta)
         name = f"ckpt-{state.global_step:08d}.npz"
         path = self.directory / name
         atomic_write_bytes(path, payload)
+        registry = _obs_registry()
+        registry.counter("checkpoint_saves_total", "Checkpoints written").inc()
+        registry.histogram("checkpoint_save_ms",
+                           "Pack-and-write checkpoint latency").observe(
+            (time.perf_counter() - save_started) * 1e3)
+        registry.gauge("checkpoint_last_size_bytes",
+                       "Size of the most recent checkpoint archive").set(
+            len(payload))
         metric_value = None
         if self.best_metric and metrics and self.best_metric in metrics:
             value = metrics[self.best_metric]
@@ -294,9 +305,17 @@ class CheckpointManager:
 
     def load(self, path) -> tuple[TrainingState, dict]:
         """Read + verify one checkpoint file; raises CheckpointError."""
+        load_started = time.perf_counter()
         path = pathlib.Path(path)
         payload = read_with_retry(lambda p: pathlib.Path(p).read_bytes(), path)
-        return _unpack(payload)
+        unpacked = _unpack(payload)
+        registry = _obs_registry()
+        registry.counter("checkpoint_loads_total",
+                         "Checkpoints read and verified").inc()
+        registry.histogram("checkpoint_load_ms",
+                           "Read-and-verify checkpoint latency").observe(
+            (time.perf_counter() - load_started) * 1e3)
+        return unpacked
 
     def load_latest(self, warn=console_log) -> tuple[TrainingState, dict] | None:
         """Newest checkpoint that passes verification.

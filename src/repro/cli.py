@@ -237,6 +237,9 @@ def _run_serve(args) -> int:
 
     from .serve import InferenceService, RegistryError, ServiceConfig
 
+    if args.obs:
+        from . import obs
+        obs.enable()
     run = None
     if args.telemetry:
         run = Run.create(root=args.run_root, name="serve",
@@ -293,10 +296,135 @@ def _run_serve(args) -> int:
         args.report.write_text(json.dumps(report, indent=2, sort_keys=True)
                                + "\n")
         console_log(f"wrote {args.report}")
+    if args.obs_export is not None:
+        from . import obs
+
+        args.obs_export.parent.mkdir(parents=True, exist_ok=True)
+        args.obs_export.write_text(obs.prometheus_text(obs.get_registry()))
+        console_log(f"wrote {args.obs_export}")
     if run is not None:
         run.finish(status="completed")
         console_log(f"recorded run {run.run_id} under {args.run_root}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro obs`` — metrics snapshot / export / live dashboard
+# ----------------------------------------------------------------------
+def _obs_service(args, run=None):
+    """Optionally stand up an InferenceService for a synthetic workload.
+
+    Returns ``(service, windows)`` or ``(None, None)`` when no checkpoint
+    was given — the obs commands then report whatever the process has
+    already collected (resource gauges at minimum).
+    """
+    import numpy as np
+
+    from .serve import InferenceService, ServiceConfig
+
+    if args.checkpoint is None:
+        return None, None
+    service = InferenceService.from_checkpoint(
+        str(args.checkpoint), ServiceConfig(), run=run,
+        run_root=str(_DEFAULT_RUN_ROOT))
+    rng = np.random.default_rng(args.seed)
+    count = args.synthetic or 16
+    windows = rng.standard_normal(
+        (count, service.loaded.config.seq_len,
+         service.loaded.config.input_channels)).astype(np.float32)
+    return service, windows
+
+
+def _obs_slo_rules(args):
+    from . import obs
+
+    if not args.slo:
+        return None
+    return obs.SloRules(args.slo)
+
+
+def _run_obs(args) -> int:
+    """``repro obs snapshot|export|watch`` — the observability CLI."""
+    import time as _time
+
+    from . import obs
+    from .serve import RegistryError
+
+    obs.enable()
+    sampler = obs.ResourceSampler(interval=max(args.interval / 2, 0.1))
+    try:
+        rules = _obs_slo_rules(args)
+    except obs.SloParseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        service, windows = _obs_service(args)
+    except (RegistryError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    def tick():
+        if service is not None:
+            service.serve_windows(windows, mode="encode",
+                                  request_size=args.request_size)
+            if service.cache is not None:
+                service.cache.stats()  # refreshes the hit-rate gauge
+        sampler.sample_once()
+
+    registry = obs.get_registry()
+    if args.obs_command == "export":
+        tick()
+        if args.format == "prometheus":
+            text = obs.prometheus_text(registry)
+        else:
+            text = json.dumps(obs.json_snapshot(registry), indent=2,
+                              sort_keys=True) + "\n"
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(text)
+            console_log(f"wrote {args.output}")
+        else:
+            print(text, end="")
+        return _obs_verdict(rules, registry)
+
+    if args.obs_command == "snapshot":
+        tick()
+        if args.output is not None:
+            obs.write_json_snapshot(registry, args.output)
+            console_log(f"wrote {args.output}")
+        dashboard = obs.Dashboard(registry, slo_rules=rules)
+        print(dashboard.render())
+        return _obs_verdict(rules, registry)
+
+    # watch: live-refreshing terminal dashboard
+    dashboard = obs.Dashboard(registry, slo_rules=rules)
+    iterations = args.iterations
+    rendered = 0
+    try:
+        while iterations == 0 or rendered < iterations:
+            tick()
+            frame = dashboard.render()
+            if rendered and not args.no_clear:
+                # ANSI: home the cursor and clear below, then repaint.
+                print("\x1b[H\x1b[J", end="")
+            print(frame, flush=True)
+            rendered += 1
+            if iterations == 0 or rendered < iterations:
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return _obs_verdict(rules, registry)
+
+
+def _obs_verdict(rules, registry) -> int:
+    """Exit code 0 unless an SLO rule is violated (unknowns don't fail)."""
+    if rules is None:
+        return 0
+    violations = rules.violations(registry)
+    for violation in violations:
+        print(f"SLO violated: {violation['rule']} "
+              f"(value: {violation['value']})", file=sys.stderr)
+    return 2 if violations else 0
 
 
 # ----------------------------------------------------------------------
@@ -620,6 +748,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record the serving session as a telemetry run")
     serve.add_argument("--run-root", type=pathlib.Path,
                        default=_DEFAULT_RUN_ROOT)
+    serve.add_argument("--obs", action="store_true",
+                       help="collect metrics/traces into the process "
+                            "observability registry while serving")
+    serve.add_argument("--obs-export", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="after serving, write the Prometheus text "
+                            "exposition here (implies --obs)")
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: metrics snapshot, Prometheus/JSON "
+                    "export, live terminal dashboard")
+    obs_parser.set_defaults(experiment="obs")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_snapshot = obs_sub.add_parser(
+        "snapshot", help="render the dashboard once (and optionally write "
+                         "a JSON snapshot)")
+    obs_export = obs_sub.add_parser(
+        "export", help="emit the metric registry as Prometheus text "
+                       "exposition or a JSON snapshot")
+    obs_export.add_argument("--format", choices=("prometheus", "json"),
+                            default="prometheus")
+    obs_watch = obs_sub.add_parser(
+        "watch", help="live-refreshing terminal dashboard")
+    obs_watch.add_argument("--interval", type=float, default=1.0,
+                           help="seconds between refreshes (default 1.0)")
+    obs_watch.add_argument("--iterations", type=int, default=0,
+                           help="stop after N refreshes (0 = until Ctrl-C)")
+    obs_watch.add_argument("--no-clear", action="store_true",
+                           help="append frames instead of repainting "
+                                "(log-friendly)")
+    for obs_cmd in (obs_snapshot, obs_export, obs_watch):
+        obs_cmd.add_argument("--checkpoint", default=None,
+                             help="serve a synthetic workload from this "
+                                  "checkpoint each tick so the serve metrics "
+                                  "are live")
+        obs_cmd.add_argument("--synthetic", type=int, default=0, metavar="N",
+                             help="synthetic windows per tick (default 16)")
+        obs_cmd.add_argument("--request-size", type=int, default=1)
+        obs_cmd.add_argument("--slo", action="append", default=None,
+                             metavar="RULE",
+                             help="SLO predicate such as "
+                                  "'serve_request_ms_p95 < 10' (repeatable; "
+                                  "violations exit 2)")
+        obs_cmd.add_argument("--seed", type=int, default=0)
+        obs_cmd.add_argument("--output", type=pathlib.Path, default=None,
+                             help="write the export/snapshot to this file")
+        if obs_cmd is not obs_watch:
+            obs_cmd.set_defaults(interval=1.0, iterations=1, no_clear=True)
 
     data = sub.add_parser(
         "data", help="build/inspect/verify on-disk window stores "
@@ -726,7 +902,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "profile":
         return _run_profile(args)
     if args.experiment == "serve":
+        if args.obs_export is not None:
+            args.obs = True
         return _run_serve(args)
+    if args.experiment == "obs":
+        return _run_obs(args)
     if args.experiment == "data":
         from .data import DataValidationError
 

@@ -19,6 +19,7 @@ the paper's use of instance normalisation + PatchTST conventions.
 from __future__ import annotations
 
 import pathlib
+import time
 from contextlib import closing
 from dataclasses import dataclass
 
@@ -40,6 +41,8 @@ from ..evaluation.classification import linear_probe_classification
 from ..evaluation.forecasting import RidgeProbe, collect_forecast_features, ridge_probe_forecasting
 from ..nn import Tensor
 from ..nn import profiler as _profiler
+from ..obs.metrics import enabled as _obs_enabled
+from ..obs.metrics import get_registry as _obs_registry
 from ..telemetry import NULL_RUN
 from .config import RuntimeOptions, resolve_runtime
 from .model import TimeDRL
@@ -251,6 +254,27 @@ def _label_subset(n: int, fraction: float, rng: np.random.Generator) -> np.ndarr
     return rng.choice(n, size=min(count, n), replace=False)
 
 
+def _obs_epoch(task: str, batches: int, seconds: float,
+               mean_loss: float | None) -> None:
+    """Publish one fine-tuning epoch into the metrics registry.
+
+    Callers gate on ``_obs_enabled()`` sampled before the epoch so the
+    disabled path never reads the epoch clock.
+    """
+    registry = _obs_registry()
+    registry.counter("train_steps_total", "Optimizer steps taken",
+                     labels=("phase",)).labels(phase=task).inc(batches)
+    registry.counter("train_epochs_total", "Epochs completed",
+                     labels=("phase",)).labels(phase=task).inc()
+    registry.histogram("train_epoch_seconds", "Wall-clock per epoch",
+                       labels=("phase",),
+                       buckets=(0.01, 0.1, 0.5, 1, 5, 30, 60, 300,
+                                1800, 7200)).labels(phase=task).observe(seconds)
+    if mean_loss is not None:
+        registry.gauge("train_last_loss",
+                       "Most recent epoch's mean total loss").set(mean_loss)
+
+
 def _labelled_batches(fetch, labelled: np.ndarray, batch_size: int,
                       rng: np.random.Generator, use_prefetch: bool):
     """One fine-tuning epoch's ``(x, y)`` batches, optionally staged
@@ -316,12 +340,14 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
     pair = _OptimizerPair(optimizer, encoder_optimizer)
     manager, start_epoch = _finetune_checkpointing(
         checkpoint, run, "finetune_forecasting", bundle, pair, rng)
-    track_loss = run.enabled or manager is not None
+    obs_on = _obs_enabled()
+    track_loss = run.enabled or manager is not None or obs_on
 
     if profile:
         _profiler.enable()
     for epoch in range(start_epoch, epochs):
         loss_sum, loss_batches = 0.0, 0
+        epoch_started = time.perf_counter() if obs_on else 0.0
         with run.span("finetune_epoch", task="forecasting", index=epoch), \
                 closing(_labelled_batches(data.train.batch, labelled,
                                           batch_size, rng, prefetch)) as batches:
@@ -351,6 +377,10 @@ def fine_tune_forecasting(model: TimeDRL, data: ForecastingData,
                 if track_loss:
                     loss_sum += float(loss.data)
                     loss_batches += 1
+        if obs_on:
+            _obs_epoch("finetune_forecasting", loss_batches,
+                       time.perf_counter() - epoch_started,
+                       loss_sum / loss_batches if loss_batches else None)
         if run.enabled and loss_batches:
             run.log_epoch(epoch, loss=loss_sum / loss_batches,
                           grad_norm=grad_norm, task="finetune_forecasting")
@@ -422,7 +452,8 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
     pair = _OptimizerPair(optimizer, encoder_optimizer)
     manager, start_epoch = _finetune_checkpointing(
         checkpoint, run, "finetune_classification", bundle, pair, rng)
-    track_loss = run.enabled or manager is not None
+    obs_on = _obs_enabled()
+    track_loss = run.enabled or manager is not None or obs_on
 
     from .pooling import pool_instance
 
@@ -430,6 +461,7 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
         _profiler.enable()
     for epoch in range(start_epoch, epochs):
         loss_sum, loss_batches = 0.0, 0
+        epoch_started = time.perf_counter() if obs_on else 0.0
         with run.span("finetune_epoch", task="classification", index=epoch), \
                 closing(_labelled_batches(
                     lambda idx: (data.x_train[idx], data.y_train[idx]),
@@ -449,6 +481,10 @@ def fine_tune_classification(model: TimeDRL, data: ClassificationData,
                 if track_loss:
                     loss_sum += float(loss.data)
                     loss_batches += 1
+        if obs_on:
+            _obs_epoch("finetune_classification", loss_batches,
+                       time.perf_counter() - epoch_started,
+                       loss_sum / loss_batches if loss_batches else None)
         if run.enabled and loss_batches:
             run.log_epoch(epoch, loss=loss_sum / loss_batches,
                           grad_norm=grad_norm, task="finetune_classification")

@@ -47,6 +47,8 @@ from ..data.loader import batch_indices
 from ..data.prefetch import PrefetchLoader
 from ..data.store import ShardedDataset, resolve_data_source
 from ..nn import profiler
+from ..obs.metrics import enabled as obs_enabled
+from ..obs.metrics import get_registry as obs_registry
 from ..telemetry import NULL_RUN, ParamUpdateMeter, Run, console_log, grad_global_norm
 from ..utils.training import Timer, format_profile
 from .config import PretrainConfig, TimeDRLConfig
@@ -253,6 +255,10 @@ class _PretrainLoop:
     def _run_epoch(self) -> None:
         cfg = self.train_config
         telemetry_on = self.run.enabled
+        # Sampled once per epoch: the batch loop below must not pay even
+        # a registry lookup per step on the disabled path.
+        obs_on = obs_enabled()
+        epoch_started = time.perf_counter() if obs_on else 0.0
         epoch = self.epoch
         skip = self.start_batch
         self.start_batch = 0
@@ -347,6 +353,21 @@ class _PretrainLoop:
         epoch_stats = {key: value / batches for key, value in sums.items()}
         epoch_stats["epoch"] = float(epoch)
         self.history.append(epoch_stats)
+        if obs_on:
+            registry = obs_registry()
+            registry.counter("train_steps_total", "Optimizer steps taken",
+                             labels=("phase",)).labels(
+                phase="pretrain").inc(batches)
+            registry.counter("train_epochs_total", "Epochs completed",
+                             labels=("phase",)).labels(phase="pretrain").inc()
+            registry.histogram("train_epoch_seconds", "Wall-clock per epoch",
+                               labels=("phase",),
+                               buckets=(0.01, 0.1, 0.5, 1, 5, 30, 60, 300,
+                                        1800, 7200)).labels(
+                phase="pretrain").observe(time.perf_counter() - epoch_started)
+            registry.gauge("train_last_loss",
+                           "Most recent epoch's mean total loss").set(
+                epoch_stats["total"])
         if telemetry_on:
             seconds = self.epoch_timer.last
             epoch_metrics = {key: epoch_stats[key] for key in sums}

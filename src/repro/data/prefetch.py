@@ -24,7 +24,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Iterable, Iterator
+
+from ..obs.metrics import enabled as _obs_enabled
+from ..obs.metrics import get_registry as _obs_registry
 
 __all__ = ["PrefetchLoader", "prefetch"]
 
@@ -45,6 +49,9 @@ class PrefetchLoader:
         if depth < 1:
             raise ValueError("depth must be >= 1")
         self.depth = depth
+        # Sampled once at construction: the per-batch hot path must not
+        # pay a registry lookup when observability is off.
+        self._obs = _obs_enabled()
         self._queue: queue.Queue = queue.Queue(maxsize=depth)
         self._stop = threading.Event()
         self._closed = False
@@ -88,7 +95,25 @@ class PrefetchLoader:
             raise StopIteration
         if self._closed:
             raise RuntimeError("PrefetchLoader is closed")
-        kind, payload = self._queue.get()
+        if self._obs:
+            # Time the get(): how long the trainer stalled waiting for
+            # the worker (0 means the buffer kept up).
+            waited = time.perf_counter()
+            kind, payload = self._queue.get()
+            registry = _obs_registry()
+            registry.histogram(
+                "prefetch_wait_ms",
+                "Consumer stall waiting on the prefetch buffer").observe(
+                (time.perf_counter() - waited) * 1e3)
+            registry.gauge("prefetch_queue_depth",
+                           "Batches staged in the prefetch buffer").set(
+                self._queue.qsize())
+            if kind == "item":
+                registry.counter("prefetch_batches_total",
+                                 "Batches served through prefetch").inc()
+                return payload
+        else:
+            kind, payload = self._queue.get()
         if kind == "item":
             return payload
         self._exhausted = True

@@ -1,0 +1,61 @@
+"""Unified observability: metrics, tracing, exporters, sampling, SLOs.
+
+``repro.obs`` is the process-wide observability layer.  Instrumented
+subsystems (serving, training loops, prefetch, checkpointing) publish
+into one :class:`MetricsRegistry` and propagate one
+:class:`TraceContext` id scheme; exporters, the resource sampler, SLO
+evaluation, and the terminal dashboard all read from that registry.
+
+Off by default: until :func:`enable` runs (or ``REPRO_OBS=1`` is set),
+every instrumented call site resolves to shared no-op singletons and
+the instrumented code paths are bit-identical to uninstrumented ones.
+
+Submodules are imported lazily (PEP 562) so ``import repro`` stays
+cheap.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    # metrics
+    "Counter": "metrics", "Gauge": "metrics", "Histogram": "metrics",
+    "MetricsRegistry": "metrics", "NullMetric": "metrics",
+    "NullRegistry": "metrics", "NULL_REGISTRY": "metrics",
+    "enable": "metrics", "disable": "metrics", "enabled": "metrics",
+    "get_registry": "metrics", "set_registry": "metrics",
+    "DEFAULT_LATENCY_BUCKETS_MS": "metrics",
+    "DEFAULT_SECONDS_BUCKETS": "metrics",
+    # tracing
+    "TraceContext": "trace", "SpanRecord": "trace", "TraceLog": "trace",
+    "current": "trace", "current_trace_id": "trace",
+    "new_context": "trace", "child_context": "trace",
+    "set_current": "trace", "reset": "trace", "activate": "trace",
+    "span": "trace", "trace_log": "trace",
+    # exporters
+    "prometheus_text": "export", "json_snapshot": "export",
+    "write_json_snapshot": "export", "parse_prometheus": "export",
+    "flatten_snapshot": "export", "ExpositionError": "export",
+    "METRIC_PREFIX": "export",
+    # sampling / SLO / dashboard
+    "ResourceSampler": "sampler",
+    "SloRule": "slo", "SloRules": "slo", "SloParseError": "slo",
+    "Dashboard": "dashboard",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

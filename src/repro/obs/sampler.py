@@ -1,0 +1,149 @@
+"""Background process-resource sampling into the metrics registry.
+
+:class:`ResourceSampler` owns a daemon thread that periodically reads
+cheap process-level signals — resident memory, cumulative CPU time, GC
+activity, thread count, open file descriptors — and publishes them as
+gauges, so the ``repro obs`` dashboard and Prometheus scrapes see
+resource pressure next to the application counters it explains.
+
+Everything is stdlib: current RSS from ``/proc/self/statm`` where
+available (Linux), peak RSS from ``resource.getrusage``, CPU time from
+``os.times``, GC totals from ``gc.get_stats``.  One sample is a handful
+of syscalls — at the default 0.5 s interval the sampler itself is noise.
+
+``sample_once()`` is public and thread-free for tests and one-shot CLI
+snapshots.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+from .metrics import get_registry
+
+__all__ = ["ResourceSampler"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+_STATM = "/proc/self/statm"
+# ru_maxrss is KiB on Linux, bytes on macOS.
+_MAXRSS_UNIT = 1024 if not os.uname().sysname == "Darwin" else 1
+
+
+def _resident_bytes() -> float | None:
+    """Current RSS in bytes (None where /proc is unavailable)."""
+    try:
+        with open(_STATM, "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return float(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _open_fds() -> float | None:
+    try:
+        return float(len(os.listdir("/proc/self/fd")))
+    except OSError:
+        return None
+
+
+class ResourceSampler:
+    """Periodic resource gauges; start/stop or use as a context manager."""
+
+    def __init__(self, interval: float = 0.5, registry=None):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.interval = interval
+        self._registry = registry
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started_unix = time.time()
+        self.samples_taken = 0
+
+    @property
+    def registry(self):
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- one sample -------------------------------------------------------
+    def sample_once(self) -> None:
+        """Read every signal once and publish the gauges."""
+        registry = self.registry
+        rss = _resident_bytes()
+        if rss is not None:
+            registry.gauge("process_resident_bytes",
+                           "Current resident set size").set(rss)
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            registry.gauge("process_max_resident_bytes",
+                           "Peak resident set size").set(
+                usage.ru_maxrss * _MAXRSS_UNIT)
+        except (ImportError, ValueError):
+            pass
+        times = os.times()
+        registry.gauge("process_cpu_seconds_total",
+                       "Cumulative user+system CPU seconds").set(
+            times.user + times.system)
+        registry.gauge("process_threads", "Live Python threads").set(
+            threading.active_count())
+        registry.gauge("process_uptime_seconds",
+                       "Seconds since the sampler started").set(
+            time.time() - self._started_unix)
+        fds = _open_fds()
+        if fds is not None:
+            registry.gauge("process_open_fds",
+                           "Open file descriptors").set(fds)
+        collections = registry.gauge("process_gc_collections_total",
+                                     "GC runs per generation",
+                                     labels=("generation",))
+        collected = registry.gauge("process_gc_collected_total",
+                                   "Objects collected per generation",
+                                   labels=("generation",))
+        for generation, stats in enumerate(gc.get_stats()):
+            collections.labels(generation=str(generation)).set(
+                stats.get("collections", 0))
+            collected.labels(generation=str(generation)).set(
+                stats.get("collected", 0))
+        registry.gauge("process_gc_tracked_objects",
+                       "Objects currently tracked by the collector "
+                       "(sum of generation counts)").set(sum(gc.get_count()))
+        self.samples_taken += 1
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> "ResourceSampler":
+        """Launch the sampling thread (idempotent)."""
+        if self._thread is None:
+            self._stop.clear()
+            self._started_unix = time.time()
+            self._thread = threading.Thread(target=self._loop,
+                                            name="repro-obs-sampler",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.sample_once()
+            self._stop.wait(self.interval)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False

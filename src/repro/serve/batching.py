@@ -36,6 +36,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import nn
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_registry
 from .cache import EmbeddingCache, input_digest
 from .metrics import LatencyHistogram
 from .registry import LoadedModel
@@ -43,6 +46,42 @@ from .registry import LoadedModel
 __all__ = ["BatchingEngine", "BatchingConfig", "InferenceRequest"]
 
 _KINDS = ("encode", "predict")
+
+
+class _ObsHandles:
+    """Metric children resolved once per registry generation.
+
+    ``submit``/``_process`` run per request; re-resolving each family and
+    labeled child through the registry on every call costs more than the
+    increment itself.  Handles are memoized keyed on registry identity,
+    so ``enable``/``disable``/``set_registry`` swaps rebuild them — and
+    the null registry memoizes its shared null metric the same way.
+    """
+
+    __slots__ = ("registry", "requests", "request_ms", "queue_depth",
+                 "batches", "windows", "batch_windows")
+
+    def __init__(self, registry):
+        self.registry = registry
+        requests = registry.counter("serve_requests_total",
+                                    "Requests submitted", labels=("kind",))
+        request_ms = registry.histogram(
+            "serve_request_ms", "Submit-to-fulfil request latency",
+            labels=("kind",))
+        # Unlabeled families are resolved down to their single child here:
+        # a bare family .inc() re-derives the child per call.
+        self.requests = {kind: requests.labels(kind=kind) for kind in _KINDS}
+        self.request_ms = {kind: request_ms.labels(kind=kind)
+                           for kind in _KINDS}
+        self.queue_depth = registry.gauge(
+            "serve_queue_depth", "Requests waiting in the engine queue").labels()
+        self.batches = registry.counter("serve_batches_total",
+                                        "Micro-batches executed").labels()
+        self.windows = registry.counter("serve_windows_total",
+                                        "Windows served").labels()
+        self.batch_windows = registry.histogram(
+            "serve_batch_windows", "Windows per micro-batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512)).labels()
 
 
 @dataclass
@@ -67,6 +106,7 @@ class InferenceRequest:
         self.kind = kind
         self.x = x
         self.digest = digest
+        self.trace: obs_trace.TraceContext | None = None
         self.submitted = time.perf_counter()
         self._done = threading.Event()
         self._value = None
@@ -108,8 +148,24 @@ class BatchingEngine:
         self._queue: list[InferenceRequest] = []
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
+        # batches_run / windows_served are written by whichever thread runs
+        # _process (worker or flusher) and read by report(); their own lock
+        # keeps them exact without widening the queue lock.
+        self._stats_lock = threading.Lock()
         self._worker: threading.Thread | None = None
         self._stopping = False
+        # Benign race: submit (caller threads) and _process (worker) may
+        # both rebuild after a registry swap; the registry hands back the
+        # same families/children either way.
+        self._obs: _ObsHandles | None = None
+
+    def _obs_handles(self) -> _ObsHandles:
+        handles = self._obs
+        registry = get_registry()
+        if handles is None or handles.registry is not registry:
+            handles = _ObsHandles(registry)
+            self._obs = handles
+        return handles
 
     # -- submission -------------------------------------------------------
     def submit(self, x: np.ndarray, kind: str = "encode") -> InferenceRequest:
@@ -124,9 +180,24 @@ class BatchingEngine:
         x = self.loaded.validate_input(x)
         digest = input_digest(x) if self.cache is not None else None
         request = InferenceRequest(kind, x, digest)
+        # The submit span's context rides on the request so the worker
+        # thread can adopt it — one trace_id from caller to fulfilment.
+        # record_span instead of span(): no nested span derives from the
+        # enqueue region, so the context never needs to become current.
+        tracing = obs_metrics.enabled()
+        if tracing:
+            ctx = request.trace = obs_trace.child_context()
+            start = time.perf_counter()
         with self._wakeup:
             self._queue.append(request)
+            depth = len(self._queue)
             self._wakeup.notify()
+        if tracing:
+            obs_trace.record_span("engine.submit", ctx, start, kind=kind,
+                                  windows=request.windows)
+        handles = self._obs_handles()
+        handles.requests[kind].inc()
+        handles.queue_depth.set(depth)
         return request
 
     def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -180,6 +251,12 @@ class BatchingEngine:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    def stats(self) -> dict:
+        """Consistent snapshot of the engine counters."""
+        with self._stats_lock:
+            return {"batches_run": self.batches_run,
+                    "windows_served": self.windows_served}
 
     def _worker_loop(self) -> None:
         while True:
@@ -268,11 +345,36 @@ class BatchingEngine:
                                        batch[i].digest, value, kind)
             cached[i] = value
         now = time.perf_counter()
+        handles = self._obs_handles()
+        request_ms = handles.request_ms[kind]
+        batch_windows = 0
         for i, request in enumerate(batch):
-            self.latency[kind].record(now - request.submitted)
-            self.windows_served += request.windows
-            request._fulfil(cached[i])
-        self.batches_run += 1
+            seconds = now - request.submitted
+            self.latency[kind].record(seconds)
+            request_ms.observe(seconds * 1e3)
+            batch_windows += request.windows
+            if request.trace is not None:
+                # Child of the submit-side context, so the fulfil span
+                # shares the request's trace_id on this (possibly
+                # worker) thread — without contextvar traffic: nothing
+                # inside _fulfil opens spans of its own.
+                start = time.perf_counter()
+                request._fulfil(cached[i])
+                obs_trace.record_span("engine.process",
+                                      request.trace.child(), start,
+                                      kind=kind, windows=request.windows,
+                                      cached=i not in misses)
+            else:
+                request._fulfil(cached[i])
+        with self._stats_lock:
+            self.windows_served += batch_windows
+            self.batches_run += 1
+        handles.batches.inc()
+        handles.windows.inc(batch_windows)
+        handles.batch_windows.observe(batch_windows)
+        with self._lock:
+            depth = len(self._queue)
+        handles.queue_depth.set(depth)
 
     def _forward(self, kind: str, inputs: list[np.ndarray]) -> list:
         """One fused eval/no-grad pass over the concatenated misses,

@@ -10,15 +10,24 @@ change.
 
 Values are stored with ``writeable=False``: a hit hands back the same
 array contents every time, and no caller can corrupt the cached copy.
+
+All cache state — the LRU map *and* the hit/miss/eviction counters — is
+guarded by one lock: the batching engine's worker thread and foreground
+callers (``flush``, ``stats``, telemetry reporters) touch the cache
+concurrently, and unlocked ``+= 1`` counter updates lose increments
+under that interleaving.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..obs.metrics import get_registry
 
 __all__ = ["EmbeddingCache", "CacheStats", "input_digest"]
 
@@ -75,40 +84,85 @@ class EmbeddingCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
+        # (registry, hits, misses, evictions) memo — get/put run per
+        # request, and re-resolving the counter families through the
+        # registry each call would dominate the increment.  Rebuilt when
+        # the registry identity changes (enable/disable/set_registry);
+        # benign if two threads race to rebuild.
+        self._obs = None
+
+    def _obs_counters(self):
+        memo = self._obs
+        registry = get_registry()
+        if memo is None or memo[0] is not registry:
+            # .labels() resolves each unlabeled family down to its single
+            # child, so get/put pay one method call per count, not a
+            # family->child delegation.
+            memo = (registry,
+                    registry.counter("serve_cache_hits_total",
+                                     "Embedding cache hits").labels(),
+                    registry.counter("serve_cache_misses_total",
+                                     "Embedding cache misses").labels(),
+                    registry.counter("serve_cache_evictions_total",
+                                     "Embedding cache evictions").labels())
+            self._obs = memo
+        return memo
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, fingerprint: str, digest: str, kind: str = "encode"):
         """Return the cached result or ``None`` (and count hit/miss)."""
         key = (fingerprint, digest, kind)
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        __, hits, misses, ___ = self._obs_counters()
         if entry is None:
-            self._misses += 1
+            misses.inc()
             return None
-        self._entries.move_to_end(key)
-        self._hits += 1
+        hits.inc()
         return entry
 
     def put(self, fingerprint: str, digest: str, value, kind: str = "encode"):
         """Insert (or refresh) a result, evicting the LRU entry if full."""
         key = (fingerprint, digest, kind)
         frozen = _freeze(value)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-        self._entries[key] = frozen
+        evicted = False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted = True
+            self._entries[key] = frozen
+        if evicted:
+            self._obs_counters()[3].inc()
         return frozen
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self._hits, misses=self._misses,
-                          evictions=self._evictions, size=len(self._entries),
-                          capacity=self.capacity)
+        with self._lock:
+            stats = CacheStats(hits=self._hits, misses=self._misses,
+                               evictions=self._evictions,
+                               size=len(self._entries),
+                               capacity=self.capacity)
+        registry = get_registry()
+        registry.gauge("serve_cache_hit_rate",
+                       "Embedding cache hit rate").set(stats.hit_rate)
+        registry.gauge("serve_cache_size",
+                       "Embedding cache live entries").set(stats.size)
+        return stats
 
 
 def _freeze(value):

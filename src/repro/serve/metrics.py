@@ -4,59 +4,69 @@ A :class:`LatencyHistogram` is a streaming recorder of per-request
 latencies; :func:`latency_report` renders one or more of them (plus
 throughput and cache counters) into the JSON latency-report format the
 ``repro serve`` CLI emits and ``docs/serving.md`` documents.
+
+Storage is a fixed-bucket streaming histogram
+(:class:`repro.obs.metrics._HistogramChild`): memory stays O(buckets)
+no matter how long the engine runs, instead of the raw-sample list that
+previously grew without bound under sustained traffic.  ``count``,
+``mean_ms``, and ``max_ms`` stay exact; ``p50_ms``/``p95_ms`` become
+bucket-interpolated (clamped to the observed min/max, so the
+``p50 <= p95 <= max`` report invariant holds).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, _HistogramChild
 
 __all__ = ["LatencyHistogram", "latency_report"]
+
+# The engine records seconds; buckets (and the report) are milliseconds.
+_BUCKETS_MS = DEFAULT_LATENCY_BUCKETS_MS
 
 
 class LatencyHistogram:
     """Streaming per-request latency recorder with percentile summaries.
 
-    Records raw samples (seconds) and summarises them as milliseconds —
+    Records samples in seconds and summarises them as milliseconds —
     serving latencies at this scale are single-digit milliseconds, and
-    the report format keeps one unit throughout.
+    the report format keeps one unit throughout.  Thread-safe: the
+    engine's worker thread and caller threads may record concurrently.
     """
 
     def __init__(self, name: str = "latency"):
         self.name = name
-        self._samples: list[float] = []
+        self._hist = _HistogramChild(tuple(_BUCKETS_MS))
 
     def record(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("latency must be non-negative")
-        self._samples.append(float(seconds))
+        self._hist.observe(float(seconds) * 1e3)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._hist.count
 
     def percentile(self, q: float) -> float:
         """q-th percentile in milliseconds (NaN when empty)."""
-        if not self._samples:
-            return float("nan")
-        return float(np.percentile(np.asarray(self._samples), q) * 1e3)
+        return self._hist.percentile(q)
 
     def summary(self) -> dict:
         """``{count, mean_ms, p50_ms, p95_ms, max_ms}`` for the report."""
-        if not self._samples:
+        snap = self._hist._snapshot()
+        if not snap["count"]:
             return {"count": 0, "mean_ms": None, "p50_ms": None,
                     "p95_ms": None, "max_ms": None}
-        arr = np.asarray(self._samples) * 1e3
-        return {"count": int(arr.size),
-                "mean_ms": float(arr.mean()),
-                "p50_ms": float(np.percentile(arr, 50)),
-                "p95_ms": float(np.percentile(arr, 95)),
-                "max_ms": float(arr.max())}
+        return {"count": int(snap["count"]),
+                "mean_ms": float(snap["sum"] / snap["count"]),
+                "p50_ms": float(self._hist.percentile(50)),
+                "p95_ms": float(self._hist.percentile(95)),
+                "max_ms": float(snap["max"])}
 
     def merge(self, other: "LatencyHistogram") -> None:
-        self._samples.extend(other._samples)
+        self._hist.merge(other._hist)
 
     def reset(self) -> None:
-        self._samples.clear()
+        self._hist.reset()
 
 
 def latency_report(histograms: dict[str, LatencyHistogram],

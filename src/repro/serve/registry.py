@@ -17,6 +17,7 @@ different set of weights.
 from __future__ import annotations
 
 import pathlib
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,8 @@ import numpy as np
 from ..checkpoint.manager import CheckpointManager
 from ..core.config import TimeDRLConfig
 from ..core.model import TimeDRL
+from ..obs import trace as obs_trace
+from ..obs.metrics import get_registry
 
 __all__ = ["ModelRegistry", "LoadedModel", "RegistryError", "ShapeMismatch"]
 
@@ -127,16 +130,24 @@ class ModelRegistry:
         directory (the newest valid archive wins), or a telemetry run id /
         run directory (its ``checkpoints/`` subdirectory is used).
         """
-        path = pathlib.Path(source)
-        if path.is_file():
-            state, meta = CheckpointManager(path.parent).load(path)
-        elif path.is_dir() and not (path / "manifest.json").is_file():
-            state, meta = self._load_dir(path)
-        else:
-            path = self._resolve_run(source, run_root)
-            state, meta = self._load_dir(path)
-        loaded = self._build(state, meta, str(path))
+        started = time.perf_counter()
+        with obs_trace.span("registry.load", source=str(source)):
+            path = pathlib.Path(source)
+            if path.is_file():
+                state, meta = CheckpointManager(path.parent).load(path)
+            elif path.is_dir() and not (path / "manifest.json").is_file():
+                state, meta = self._load_dir(path)
+            else:
+                path = self._resolve_run(source, run_root)
+                state, meta = self._load_dir(path)
+            loaded = self._build(state, meta, str(path))
         self._pool[alias or str(source)] = loaded
+        registry = get_registry()
+        registry.counter("serve_model_loads_total",
+                         "Models pulled into the warm pool").inc()
+        registry.histogram("serve_model_load_ms",
+                           "Checkpoint-to-warm-model load latency").observe(
+            (time.perf_counter() - started) * 1e3)
         if self._run is not None and getattr(self._run, "enabled", False):
             self._run.emit("message",
                            text=f"serve: loaded {loaded.source} "

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from ..telemetry import NULL_RUN
 from .batching import BatchingConfig, BatchingEngine
 from .cache import EmbeddingCache
@@ -84,12 +85,18 @@ class InferenceService:
         if request_size < 1:
             raise ValueError("request_size must be >= 1")
         windows = np.asarray(windows)
+        # One root trace per workload: every submit below derives its
+        # context from this span, so the whole serve request shares one
+        # trace_id through engine, worker thread, and cache.
         with self.run.span("serve_windows", mode=mode,
                            windows=int(windows.shape[0])):
-            requests = [self.engine.submit(windows[s:s + request_size], mode)
-                        for s in range(0, windows.shape[0], request_size)]
-            self.engine.flush()
-            results = [r.result() for r in requests]
+            with obs_trace.span("service.serve_windows", mode=mode,
+                                windows=int(windows.shape[0])):
+                requests = [self.engine.submit(windows[s:s + request_size],
+                                               mode)
+                            for s in range(0, windows.shape[0], request_size)]
+                self.engine.flush()
+                results = [r.result() for r in requests]
         if mode == "encode":
             return (np.concatenate([r[0] for r in results]),
                     np.concatenate([r[1] for r in results]))

@@ -27,6 +27,7 @@ import hashlib
 import json
 import pathlib
 import platform
+import threading
 import time
 import traceback
 import uuid
@@ -35,6 +36,7 @@ import numpy as np
 
 from .. import __version__
 from ..nn import profiler
+from ..obs import trace as obs_trace
 from ..utils.fileio import atomic_write_text
 from .health import default_guards
 from .sinks import JsonlSink, LoggingSink, MemorySink, Sink
@@ -48,7 +50,7 @@ METRICS_NAME = "metrics.jsonl"
 
 EVENT_TYPES = ("run_start", "run_end", "span_start", "span_end",
                "step", "epoch", "message", "health", "metric",
-               "checkpoint", "recovery", "crash")
+               "checkpoint", "recovery", "crash", "alert")
 
 _STATUS = ("running", "completed", "failed", "crashed")
 
@@ -102,9 +104,19 @@ def dataset_fingerprint(data) -> dict | None:
 
 
 class _SpanHandle:
-    """Context manager for one traced region (see :meth:`Run.span`)."""
+    """Context manager for one traced region (see :meth:`Run.span`).
 
-    __slots__ = ("_run", "name", "attrs", "_start", "_profiler_scope")
+    Every real span mints ids from the :mod:`repro.obs.trace` scheme —
+    ``trace_id``/``span_id``/``parent_id`` ride on the ``span_start``/
+    ``span_end`` events, and the span's context becomes *current* for
+    its body, so serve traces opened inside a run (and nested run
+    spans) chain off the same ids.  When the observability layer is
+    enabled the completed span is also recorded in the process trace
+    log.
+    """
+
+    __slots__ = ("_run", "name", "attrs", "_start", "_profiler_scope",
+                 "ctx", "_trace_token")
 
     def __init__(self, run: "Run", name: str, attrs: dict):
         self._run = run
@@ -112,12 +124,17 @@ class _SpanHandle:
         self.attrs = attrs
         self._start = 0.0
         self._profiler_scope = None
+        self.ctx: obs_trace.TraceContext | None = None
+        self._trace_token = None
 
     def __enter__(self) -> "_SpanHandle":
         run = self._run
+        self.ctx = obs_trace.child_context()
+        self._trace_token = obs_trace.set_current(self.ctx)
         run._span_stack.append(self.name)
         run.emit("span_start", span=self.name, path=run.span_path(),
-                 depth=len(run._span_stack), **self.attrs)
+                 depth=len(run._span_stack), **self.ctx.as_dict(),
+                 **self.attrs)
         self._profiler_scope = profiler.scope(f"run/{self.name}")
         self._profiler_scope.__enter__()
         self._start = time.perf_counter()
@@ -129,9 +146,18 @@ class _SpanHandle:
         run = self._run
         path = run.span_path()
         run._span_stack.pop()
+        obs_trace.reset(self._trace_token)
         run.emit("span_end", span=self.name, path=path,
                  depth=len(run._span_stack) + 1, seconds=elapsed,
+                 **self.ctx.as_dict(),
                  error=(None if exc_type is None else exc_type.__name__))
+        if obs_trace.enabled():
+            obs_trace.trace_log().record(obs_trace.SpanRecord(
+                name=f"run/{self.name}", trace_id=self.ctx.trace_id,
+                span_id=self.ctx.span_id, parent_id=self.ctx.parent_id,
+                thread=threading.current_thread().name,
+                start_unix=time.time() - elapsed, seconds=elapsed,
+                attrs=dict(self.attrs)))
         return False
 
 

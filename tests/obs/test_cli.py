@@ -1,0 +1,105 @@
+"""``repro obs`` CLI and the ``repro serve --obs`` integration, end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import parse_prometheus
+
+
+def _obs(command, checkpoint_dir, *extra):
+    return ["obs", command, "--checkpoint", str(checkpoint_dir),
+            "--synthetic", "8", "--request-size", "2", *extra]
+
+
+class TestObsExport:
+    def test_prometheus_to_stdout_parses(self, checkpoint_dir, capsys):
+        assert main(_obs("export", checkpoint_dir)) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        assert "repro_serve_requests_total" in families
+        assert "repro_process_threads" in families
+
+    def test_prometheus_to_file(self, checkpoint_dir, tmp_path):
+        target = tmp_path / "metrics.prom"
+        assert main(_obs("export", checkpoint_dir,
+                         "--output", str(target))) == 0
+        families = parse_prometheus(target.read_text())
+        assert families["repro_serve_request_ms"]["type"] == "histogram"
+
+    def test_json_format(self, checkpoint_dir, capsys):
+        assert main(_obs("export", checkpoint_dir,
+                         "--format", "json")) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-obs-snapshot/1"
+        assert "serve_requests_total" in document["metrics"]
+
+    def test_without_checkpoint_reports_process_gauges(self, capsys):
+        assert main(["obs", "export"]) == 0
+        families = parse_prometheus(capsys.readouterr().out)
+        assert "repro_process_threads" in families
+        assert "repro_serve_requests_total" not in families
+
+
+class TestObsSnapshot:
+    def test_dashboard_renders(self, checkpoint_dir, capsys):
+        assert main(_obs("snapshot", checkpoint_dir)) == 0
+        out = capsys.readouterr().out
+        assert "repro obs" in out
+        assert "serving" in out
+
+    def test_snapshot_writes_json(self, checkpoint_dir, tmp_path):
+        target = tmp_path / "snap.json"
+        assert main(_obs("snapshot", checkpoint_dir,
+                         "--output", str(target))) == 0
+        document = json.loads(target.read_text())
+        assert document["format"] == "repro-obs-snapshot/1"
+
+
+class TestObsWatch:
+    def test_bounded_iterations(self, checkpoint_dir, capsys):
+        assert main(_obs("watch", checkpoint_dir, "--iterations", "2",
+                         "--interval", "0.01", "--no-clear")) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro obs") >= 2  # one dashboard frame per tick
+
+
+class TestSloVerdicts:
+    def test_violation_exits_2_and_reports(self, checkpoint_dir, capsys):
+        code = main(_obs("export", checkpoint_dir,
+                         "--slo", "serve_requests_total < 1"))
+        assert code == 2
+        assert "SLO violated: serve_requests_total < 1" in (
+            capsys.readouterr().err)
+
+    def test_passing_and_unknown_rules_exit_0(self, checkpoint_dir, capsys):
+        assert main(_obs("export", checkpoint_dir,
+                         "--slo", "serve_requests_total >= 1",
+                         "--slo", "no_such_metric < 5")) == 0
+        assert "SLO violated" not in capsys.readouterr().err
+
+    def test_unparsable_rule_exits_1(self, checkpoint_dir, capsys):
+        assert main(_obs("export", checkpoint_dir, "--slo", "latency ~ 5")) == 1
+        assert "cannot parse SLO rule" in capsys.readouterr().err
+
+
+class TestServeObsIntegration:
+    def test_serve_obs_export_round_trips(self, checkpoint_dir, tmp_path,
+                                          capsys):
+        target = tmp_path / "serve.prom"
+        code = main(["serve", "--checkpoint", str(checkpoint_dir),
+                     "--synthetic", "8", "--request-size", "2",
+                     "--obs-export", str(target)])
+        assert code == 0
+        families = parse_prometheus(target.read_text())
+        flat_requests = [value for name, labels, value
+                         in families["repro_serve_requests_total"]["samples"]]
+        assert sum(flat_requests) >= 4  # 8 windows / request size 2
+        assert "repro_serve_batch_windows" in families
+
+    def test_bad_checkpoint_is_a_clean_error(self, tmp_path, capsys):
+        code = main(_obs("export", tmp_path / "nowhere"))
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

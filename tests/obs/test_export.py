@@ -1,0 +1,191 @@
+"""Exporters: Prometheus round-trip, JSON snapshots, flattening, golden names.
+
+``parse_prometheus`` is the format contract: everything ``prometheus_text``
+emits must survive a parse-with-validation, and the family names produced
+by the canonical instrumented workload are pinned in
+``golden_prometheus_names.txt`` so a renamed metric is a reviewed change,
+not an accident.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.obs.export import (ExpositionError, METRIC_PREFIX,
+                              flatten_snapshot, json_snapshot,
+                              parse_prometheus, prometheus_text,
+                              write_json_snapshot)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import ResourceSampler
+from repro.serve import BatchingEngine, EmbeddingCache, ModelRegistry
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_prometheus_names.txt"
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "Requests served",
+                     labels=("kind",)).labels(kind="encode").inc(3)
+    registry.counter("requests_total", labels=("kind",)).labels(
+        kind="predict").inc(1)
+    registry.gauge("queue_depth", "Queue depth").set(2)
+    hist = registry.histogram("latency_ms", "Latency", buckets=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_round_trips_through_parser(self):
+        text = prometheus_text(_sample_registry())
+        families = parse_prometheus(text)
+        assert set(families) == {"repro_requests_total", "repro_queue_depth",
+                                 "repro_latency_ms"}
+        counter = families["repro_requests_total"]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "Requests served"
+        values = {labels["kind"]: value
+                  for __, labels, value in counter["samples"]}
+        assert values == {"encode": 3.0, "predict": 1.0}
+
+    def test_histogram_expansion_is_cumulative_with_inf(self):
+        text = prometheus_text(_sample_registry())
+        samples = parse_prometheus(text)["repro_latency_ms"]["samples"]
+        buckets = {labels["le"]: value for name, labels, value in samples
+                   if name == "repro_latency_ms_bucket"}
+        assert buckets == {"1": 1.0, "10": 2.0, "+Inf": 3.0}
+        by_name = {name: value for name, labels, value in samples
+                   if "le" not in labels}
+        assert by_name["repro_latency_ms_count"] == 3.0
+        assert by_name["repro_latency_ms_sum"] == pytest.approx(55.5)
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", 'line\nbreak "quoted" back\\slash').inc()
+        families = parse_prometheus(prometheus_text(registry))
+        assert families["repro_odd"]["help"] == 'line\nbreak "quoted" back\\slash'
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        assert "myapp_hits 1" in prometheus_text(registry, prefix="myapp_")
+
+
+class TestParserValidation:
+    def test_sample_without_type_header_rejected(self):
+        with pytest.raises(ExpositionError, match="no # TYPE"):
+            parse_prometheus("repro_orphan 1\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ExpositionError, match="unknown type"):
+            parse_prometheus("# TYPE x nonsense\nx 1\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExpositionError, match="bad sample value"):
+            parse_prometheus("# TYPE x counter\nx pancake\n")
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 1\nh_count 3\n")
+        with pytest.raises(ExpositionError, match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = ('# TYPE h histogram\nh_bucket{le="1"} 1\n'
+                "h_sum 0.5\nh_count 1\n")
+        with pytest.raises(ExpositionError, match="lacks a \\+Inf"):
+            parse_prometheus(text)
+
+    def test_count_disagreement_rejected(self):
+        text = ('# TYPE h histogram\nh_bucket{le="+Inf"} 2\n'
+                "h_sum 1\nh_count 3\n")
+        with pytest.raises(ExpositionError, match="disagrees with _count"):
+            parse_prometheus(text)
+
+
+class TestJsonSnapshot:
+    def test_document_shape(self):
+        document = json_snapshot(_sample_registry(), note="hello")
+        assert document["format"] == "repro-obs-snapshot/1"
+        assert document["note"] == "hello"
+        assert document["metrics"]["latency_ms"]["kind"] == "histogram"
+        json.dumps(document)  # must be JSON-able as-is
+
+    def test_write_json_snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_json_snapshot(_sample_registry(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["format"] == "repro-obs-snapshot/1"
+        assert loaded["metrics"]["queue_depth"]["series"][0]["value"] == 2
+
+
+class TestFlattenSnapshot:
+    def test_counters_and_gauges_flatten_with_labeled_children(self):
+        flat = flatten_snapshot(_sample_registry().snapshot())
+        assert flat["requests_total"] == 4.0
+        assert flat['requests_total{kind="encode"}'] == 3.0
+        assert flat["queue_depth"] == 2.0
+
+    def test_histogram_derives_slo_namespace(self):
+        flat = flatten_snapshot(_sample_registry().snapshot())
+        assert flat["latency_ms_count"] == 3.0
+        assert flat["latency_ms_sum"] == pytest.approx(55.5)
+        assert flat["latency_ms_mean"] == pytest.approx(55.5 / 3)
+        assert flat["latency_ms_max"] == 50.0
+        assert 0.5 <= flat["latency_ms_p50"] <= flat["latency_ms_p95"] <= 50.0
+
+    def test_empty_histogram_contributes_count_only(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_ms", buckets=(1.0,))
+        flat = flatten_snapshot(registry.snapshot())
+        # No observations → zero count/sum, and no percentile entries that
+        # would have to lie about a distribution that does not exist.
+        assert flat == {"latency_ms_count": 0.0, "latency_ms_sum": 0.0}
+
+    def test_percentiles_clamped_to_observed_range(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("v", buckets=(100.0, 1000.0))
+        hist.observe(3.0)
+        hist.observe(4.0)
+        flat = flatten_snapshot(registry.snapshot())
+        # Both samples sit far below the first bound; interpolation must
+        # not report a percentile outside [min, max].
+        assert 3.0 <= flat["v_p50"] <= flat["v_p95"] <= 4.0
+
+
+class TestGoldenExport:
+    def test_canonical_workload_matches_golden_names(self, registry,
+                                                     checkpoint_dir, windows):
+        """The instrumented serve path + resource sampler produce exactly
+        the pinned family set — a rename or a dropped metric fails here."""
+        loaded = ModelRegistry().load(checkpoint_dir, alias="golden")
+        cache = EmbeddingCache(capacity=2)
+        engine = BatchingEngine(loaded, cache=cache)
+        for chunk in (windows[:2], windows[:2],      # miss then hit
+                      windows[2:4], windows[4:6]):   # misses; second evicts
+            engine.submit(chunk, "encode")
+            engine.flush()
+        engine.submit(windows[:4], "predict")
+        engine.flush()
+        cache.stats()
+        ResourceSampler(registry=registry).sample_once()
+
+        text = prometheus_text(registry)
+        families = parse_prometheus(text)  # validates while parsing
+        golden = GOLDEN.read_text().split()
+        assert sorted(families) == golden
+        # Spot-check the workload showed up where expected.
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["serve_cache_hits_total"] == 1.0
+        # Capacity 2: the third encode insert evicts once, the predict
+        # insert evicts again.
+        assert flat["serve_cache_evictions_total"] == 2.0
+        assert flat["serve_requests_total"] == 5.0
+        assert flat["serve_request_ms_count"] == 5.0
+        assert not math.isnan(flat["serve_request_ms_p95"])
+        assert all(name.startswith(METRIC_PREFIX) for name in families)

@@ -1,0 +1,217 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms, registry."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS_MS, Counter, Gauge,
+                               Histogram, MetricsRegistry, NULL_METRIC,
+                               NULL_REGISTRY)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("requests")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        counter = Counter("requests", label_names=("kind",))
+        counter.labels(kind="encode").inc(3)
+        counter.labels(kind="predict").inc(1)
+        assert counter.labels(kind="encode").value == 3
+        assert counter.labels(kind="predict").value == 1
+        assert counter.value == 4  # family total sums the children
+
+    def test_wrong_label_names_rejected(self):
+        counter = Counter("requests", label_names=("kind",))
+        with pytest.raises(ValueError, match="declares labels"):
+            counter.labels(mode="encode")
+
+    def test_bare_call_on_labeled_family_rejected(self):
+        counter = Counter("requests", label_names=("kind",))
+        with pytest.raises(ValueError, match="address a child"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_exact_count_sum_mean_max(self):
+        hist = Histogram("latency", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        child = hist.labels()
+        assert child.count == 4
+        assert child.sum == 555.5
+        assert child.mean == pytest.approx(555.5 / 4)
+        snap = child._snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500.0
+        # one observation per bucket including the implicit +Inf slot
+        assert [count for __, count in snap["buckets"]] == [1, 1, 1, 1]
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = Histogram("latency", buckets=tuple(DEFAULT_LATENCY_BUCKETS_MS))
+        samples = [0.3, 0.7, 1.2, 3.4, 4.1, 8.8, 9.9, 19.99]
+        for value in samples:
+            hist.observe(value)
+        for q in (0, 50, 95, 100):
+            p = hist.percentile(q)
+            assert min(samples) <= p <= max(samples), (q, p)
+        assert hist.percentile(50) <= hist.percentile(95)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(Histogram("latency").percentile(50))
+
+    def test_single_observation_percentile_is_that_value(self):
+        hist = Histogram("latency", buckets=(1.0, 10.0))
+        hist.observe(3.25)
+        assert hist.percentile(50) == pytest.approx(3.25)
+        assert hist.percentile(99) == pytest.approx(3.25)
+
+    def test_merge_and_reset(self):
+        a = Histogram("latency", buckets=(1.0, 10.0)).labels()
+        b = Histogram("latency", buckets=(1.0, 10.0)).labels()
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.sum == 55.5
+        a.reset()
+        assert a.count == 0
+        assert math.isnan(a.percentile(50))
+
+    def test_merge_bucket_mismatch_rejected(self):
+        a = Histogram("latency", buckets=(1.0, 10.0)).labels()
+        b = Histogram("latency", buckets=(1.0, 5.0)).labels()
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("latency", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("latency", buckets=())
+
+    def test_memory_is_bounded(self):
+        """The whole point of the refactor: O(buckets), not O(samples)."""
+        hist = Histogram("latency", buckets=(1.0, 10.0, 100.0)).labels()
+        for i in range(10_000):
+            hist.observe(i % 200)
+        assert len(hist._counts) == 4
+        assert hist.count == 10_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests", "help text")
+        second = registry.counter("requests")
+        assert first is second
+        assert registry.names() == ["requests"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("requests")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", labels=("kind",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("requests", labels=("mode",))
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", "total requests").inc(2)
+        registry.histogram("latency", buckets=(1.0, 10.0)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["requests"]["kind"] == "counter"
+        assert snap["requests"]["series"][0]["value"] == 2
+        assert snap["latency"]["kind"] == "histogram"
+        assert snap["latency"]["series"][0]["count"] == 1
+
+
+class TestDisabledPath:
+    def test_registry_defaults_to_null(self):
+        obs_metrics.disable()
+        assert not obs_metrics.enabled()
+        assert obs_metrics.get_registry() is NULL_REGISTRY
+
+    def test_null_primitives_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("b") is NULL_METRIC
+        assert NULL_REGISTRY.histogram("c") is NULL_METRIC
+        assert NULL_METRIC.labels(kind="x") is NULL_METRIC
+        NULL_METRIC.inc()
+        NULL_METRIC.set(3)
+        NULL_METRIC.observe(1.0)
+        assert NULL_METRIC.count == 0
+        assert math.isnan(NULL_METRIC.percentile(50))
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_enable_installs_and_disable_removes(self):
+        obs_metrics.disable()
+        live = obs_metrics.enable()
+        try:
+            assert obs_metrics.enabled()
+            assert obs_metrics.get_registry() is live
+            assert obs_metrics.enable() is live  # idempotent
+        finally:
+            obs_metrics.disable()
+        assert obs_metrics.get_registry() is NULL_REGISTRY
+
+    def test_set_registry_test_hook(self, registry):
+        assert obs_metrics.get_registry() is registry
+
+
+class TestThreadSafety:
+    def test_counter_increments_are_exact_under_contention(self):
+        counter = Counter("hits").labels()
+
+        def work():
+            for __ in range(5_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+    def test_histogram_observations_are_exact_under_contention(self):
+        hist = Histogram("latency", buckets=(10.0, 100.0)).labels()
+
+        def work():
+            for i in range(2_000):
+                hist.observe(float(i % 150))
+
+        threads = [threading.Thread(target=work) for __ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 12_000
+        snap = hist._snapshot()
+        assert sum(count for __, count in snap["buckets"]) == 12_000

@@ -1,0 +1,102 @@
+"""ResourceSampler: stdlib-only process gauges, thread lifecycle."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sampler import ResourceSampler
+
+ALWAYS_PUBLISHED = (
+    "process_cpu_seconds_total", "process_threads",
+    "process_uptime_seconds", "process_gc_collections_total",
+    "process_gc_collected_total", "process_gc_tracked_objects",
+    "process_max_resident_bytes",
+)
+
+
+class TestSampleOnce:
+    def test_publishes_process_gauges(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry=registry)
+        sampler.sample_once()
+        names = registry.names()
+        for name in ALWAYS_PUBLISHED:
+            assert name in names, name
+        assert sampler.samples_taken == 1
+
+    def test_values_are_sane(self):
+        registry = MetricsRegistry()
+        ResourceSampler(registry=registry).sample_once()
+        assert registry.get("process_threads").value >= 1
+        assert registry.get("process_cpu_seconds_total").value >= 0
+        assert registry.get("process_max_resident_bytes").value > 0
+        rss = registry.get("process_resident_bytes")
+        if rss is not None:  # /proc-less platforms skip the gauge
+            assert rss.value > 0
+        assert registry.get("process_uptime_seconds").value >= 0
+
+    def test_gc_gauges_are_per_generation(self):
+        registry = MetricsRegistry()
+        ResourceSampler(registry=registry).sample_once()
+        collections = registry.get("process_gc_collections_total")
+        generations = {labels["generation"]
+                       for labels, __ in collections.series()}
+        assert generations == {"0", "1", "2"}
+
+    def test_defaults_to_process_registry(self, registry):
+        ResourceSampler().sample_once()
+        assert "process_threads" in registry.names()
+
+    def test_null_registry_when_disabled(self):
+        obs_metrics.disable()
+        sampler = ResourceSampler()
+        assert sampler.registry is NULL_REGISTRY
+        sampler.sample_once()  # must be a harmless no-op
+        assert sampler.samples_taken == 1
+
+
+class TestLifecycle:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="interval"):
+            ResourceSampler(interval=0)
+
+    def test_background_thread_samples_and_stops(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(interval=0.01, registry=registry)
+        assert not sampler.running
+        sampler.start()
+        assert sampler.running
+        deadline = time.time() + 5.0
+        while sampler.samples_taken < 3 and time.time() < deadline:
+            time.sleep(0.01)
+        sampler.stop()
+        assert not sampler.running
+        assert sampler.samples_taken >= 3
+        taken = sampler.samples_taken
+        time.sleep(0.05)
+        assert sampler.samples_taken == taken  # really stopped
+
+    def test_start_is_idempotent(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(interval=0.05, registry=registry)
+        try:
+            first = sampler.start()
+            thread = sampler._thread
+            assert sampler.start() is first
+            assert sampler._thread is thread
+        finally:
+            sampler.stop()
+
+    def test_context_manager(self):
+        registry = MetricsRegistry()
+        with ResourceSampler(interval=0.01, registry=registry) as sampler:
+            assert sampler.running
+            deadline = time.time() + 5.0
+            while sampler.samples_taken < 1 and time.time() < deadline:
+                time.sleep(0.005)
+        assert not sampler.running
+        assert sampler.samples_taken >= 1

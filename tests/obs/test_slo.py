@@ -1,0 +1,101 @@
+"""SLO rules: parsing, evaluation semantics, and alert emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloParseError, SloRule, SloRules
+from repro.telemetry import Run
+from repro.telemetry.sinks import MemorySink
+
+
+def _registry_with_traffic() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve_requests_total").inc(100)
+    registry.gauge("serve_cache_hit_rate").set(0.6)
+    hist = registry.histogram("serve_request_ms", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 2.0, 3.0, 40.0):
+        hist.observe(value)
+    return registry
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,metric,op,threshold", [
+        ("serve_request_ms_p95 < 10", "serve_request_ms_p95", "<", 10.0),
+        ("serve_cache_hit_rate >= 0.3", "serve_cache_hit_rate", ">=", 0.3),
+        ("process_resident_bytes<2e9", "process_resident_bytes", "<", 2e9),
+        ("errors_total == 0", "errors_total", "==", 0.0),
+        ("x != -1.5", "x", "!=", -1.5),
+        ('requests_total{kind="encode"} > 5',
+         'requests_total{kind="encode"}', ">", 5.0),
+    ])
+    def test_valid_rules(self, text, metric, op, threshold):
+        rule = SloRule.parse(text)
+        assert (rule.metric, rule.op, rule.threshold) == (metric, op, threshold)
+
+    @pytest.mark.parametrize("text", [
+        "", "latency <", "< 10", "latency ~ 10", "latency < ten",
+        "a < b < c",
+    ])
+    def test_invalid_rules_raise(self, text):
+        with pytest.raises(SloParseError):
+            SloRule.parse(text)
+
+
+class TestEvaluation:
+    def test_ok_violated_unknown(self):
+        registry = _registry_with_traffic()
+        rules = SloRules(["serve_requests_total >= 10",      # ok
+                          "serve_cache_hit_rate > 0.9",      # violated
+                          "never_published < 1"])            # unknown
+        results = rules.evaluate(registry)
+        assert [r["status"] for r in results] == ["ok", "violated", "unknown"]
+        violated = results[1]
+        assert violated["value"] == 0.6
+        assert violated["threshold"] == 0.9
+        assert rules.violations(registry) == [violated]
+
+    def test_histogram_derived_metrics_are_addressable(self):
+        registry = _registry_with_traffic()
+        rules = SloRules(["serve_request_ms_p95 <= 40",
+                          "serve_request_ms_count == 4",
+                          "serve_request_ms_max < 5"])
+        statuses = [r["status"] for r in rules.evaluate(registry)]
+        assert statuses == ["ok", "ok", "violated"]
+
+    def test_accepts_preparsed_rules(self):
+        rule = SloRule.parse("x < 1")
+        assert SloRules([rule]).rules == [rule]
+        assert len(SloRules(["x < 1", "y > 2"])) == 2
+
+    def test_defaults_to_process_registry(self, registry):
+        registry.gauge("depth").set(3)
+        results = SloRules(["depth <= 3"]).evaluate()
+        assert results[0]["status"] == "ok"
+
+
+class TestAlertEmission:
+    def test_violations_emit_alert_events(self, tmp_path):
+        sink = MemorySink()
+        run = Run.create(root=str(tmp_path), name="slo", sinks=[sink])
+        registry = _registry_with_traffic()
+        SloRules(["serve_cache_hit_rate > 0.9",
+                  "serve_requests_total >= 10"]).evaluate(registry, run=run)
+        run.finish(status="completed")
+        alerts = sink.of_type("alert")
+        assert len(alerts) == 1  # only the violation alerts, not the ok
+        alert = alerts[0]
+        assert alert["check"] == "slo"
+        assert alert["rule"] == "serve_cache_hit_rate > 0.9"
+        assert alert["status"] == "violated"
+        assert alert["value"] == 0.6
+
+    def test_disabled_run_gets_no_alerts(self):
+        from repro.telemetry import NULL_RUN
+
+        registry = _registry_with_traffic()
+        # NULL_RUN.enabled is False — evaluate must not try to emit.
+        results = SloRules(["serve_cache_hit_rate > 0.9"]).evaluate(
+            registry, run=NULL_RUN)
+        assert results[0]["status"] == "violated"

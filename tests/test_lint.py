@@ -20,9 +20,16 @@ class TestNoPrintInLibrary:
         violations = check_tree(REPO / "src" / "repro" / "serve")
         assert violations == [], "\n".join(violations)
 
+    def test_obs_subsystem_has_no_bare_print(self):
+        # Observability especially: a metrics layer that printed would
+        # corrupt the exposition output it exists to produce.
+        violations = check_tree(REPO / "src" / "repro" / "obs")
+        assert violations == [], "\n".join(violations)
+
     def test_multiple_roots_deduplicate(self, capsys):
         code = main(["check_print", str(REPO / "src" / "repro"),
-                     str(REPO / "src" / "repro" / "serve")])
+                     str(REPO / "src" / "repro" / "serve"),
+                     str(REPO / "src" / "repro" / "obs")])
         assert code == 0
         assert capsys.readouterr().out == ""
 
