@@ -31,6 +31,7 @@ from .manager import (
     CheckpointError,
     CheckpointInfo,
     CheckpointManager,
+    resolve_checkpoint_source,
 )
 from .recovery import RecoveryController, TrainingAborted
 from .state import (
@@ -45,7 +46,7 @@ from .state import (
 __all__ = [
     "CheckpointConfig", "RECOVERY_ACTIONS",
     "CheckpointManager", "CheckpointInfo", "CheckpointError",
-    "FORMAT_VERSION", "INDEX_NAME",
+    "FORMAT_VERSION", "INDEX_NAME", "resolve_checkpoint_source",
     "TrainingState", "capture_state", "restore_state",
     "named_rngs", "rng_state", "set_rng_state",
     "RecoveryController", "TrainingAborted",

@@ -332,3 +332,44 @@ class CheckpointManager:
             except (OSError, CheckpointError) as error:
                 warn(f"[checkpoint] skipping corrupt {entry.path.name}: {error}")
         return None
+
+
+def resolve_checkpoint_source(source, run_root="results/runs"
+                              ) -> tuple[TrainingState, dict, pathlib.Path]:
+    """Resolve a checkpoint *source* to a verified ``(state, meta, path)``.
+
+    ``source`` may be a ``ckpt-*.npz`` file, a checkpoint directory (the
+    newest valid archive wins), or a telemetry run id / run directory
+    (its ``checkpoints/`` subdirectory is used).  This is the one place
+    that knows every way to name a checkpoint: the serving
+    :class:`~repro.serve.ModelRegistry` resolves live and candidate
+    models through it, and ``repro swap`` validates a candidate with it
+    before any traffic is mirrored.  Raises :class:`CheckpointError`
+    when the source cannot be resolved to a valid archive.
+    """
+    path = pathlib.Path(source)
+    if path.is_file():
+        state, meta = CheckpointManager(path.parent).load(path)
+        return state, meta, path
+    if path.is_dir() and not (path / "manifest.json").is_file():
+        return (*_load_directory(path), path)
+    from ..telemetry.registry import find_run
+    try:
+        run = find_run(str(source), root=run_root)
+    except (FileNotFoundError, ValueError) as error:
+        raise CheckpointError(
+            f"cannot resolve {source!r} as a checkpoint file, directory, "
+            f"or run id: {error}") from error
+    directory = pathlib.Path(run.directory) / "checkpoints"
+    if not directory.is_dir():
+        raise CheckpointError(
+            f"run {source!r} has no checkpoints/ directory "
+            f"(was it trained with checkpointing enabled?)")
+    return (*_load_directory(directory), directory)
+
+
+def _load_directory(directory: pathlib.Path) -> tuple[TrainingState, dict]:
+    loaded = CheckpointManager(directory).load_latest()
+    if loaded is None:
+        raise CheckpointError(f"no valid checkpoint under {directory}")
+    return loaded

@@ -231,6 +231,113 @@ def _serve_load_input(args, loaded):
     return np.ascontiguousarray(windows, dtype=np.float32)
 
 
+def _parse_tenants(specs):
+    """``name[:weight[:rate[:burst]]]`` strings -> TenantConfig tuple."""
+    import math
+
+    from .serve import TenantConfig
+
+    tenants = []
+    for spec in specs:
+        parts = spec.split(":")
+        if not parts[0]:
+            raise ValueError(f"tenant spec {spec!r} has an empty name")
+        weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+        rate = float(parts[2]) if len(parts) > 2 and parts[2] else math.inf
+        burst = float(parts[3]) if len(parts) > 3 and parts[3] else (
+            rate if math.isfinite(rate) else math.inf)
+        tenants.append(TenantConfig(name=parts[0], weight=weight,
+                                    rate=rate, burst=burst))
+    return tuple(tenants)
+
+
+def _run_serve_gateway(args, run) -> int:
+    """``repro serve --gateway`` — the workload through the resilient
+    multi-tenant front door (admission, deadlines, breaker)."""
+    from .serve import (BatchingConfig, DeadlineExceeded, GatewayConfig,
+                        ModelRegistry, RegistryError, RetryableError,
+                        ServingGateway)
+
+    try:
+        registry = ModelRegistry(run=run)
+        registry.load(str(args.checkpoint), alias="serving",
+                      run_root=str(args.run_root))
+        tenants = (_parse_tenants(args.tenant) if args.tenant
+                   else _parse_tenants(["default"]))
+        gateway = ServingGateway(registry, "serving", GatewayConfig(
+            tenants=tenants,
+            max_queue_windows=args.queue_windows,
+            default_deadline_ms=args.deadline_ms or None,
+            stale_ok=args.stale_ok,
+            batching=BatchingConfig(max_batch_size=args.batch_size,
+                                    max_wait_ms=args.max_wait_ms),
+            cache_size=args.cache_size))
+        windows = _serve_load_input(args, gateway.loaded)
+    except (RegistryError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        if run is not None:
+            run.finish(status="failed")
+        return 1
+    names = [tenant.name for tenant in tenants]
+    console_log(f"gateway serving {len(windows)} windows x{args.repeats} "
+                f"(tenants={','.join(names)}, queue budget "
+                f"{args.queue_windows} windows, "
+                f"deadline={args.deadline_ms or 'none'}ms, "
+                f"stale_ok={args.stale_ok}) "
+                f"[{gateway.fingerprint[:12]}]")
+    size = max(1, args.request_size)
+    served = rejected = 0
+    with gateway:
+        for _ in range(args.repeats):
+            pending = []
+            for start in range(0, len(windows), size):
+                tenant = names[(start // size) % len(names)]
+                x = windows[start:start + size]
+                try:
+                    pending.append(gateway.submit(x, args.mode,
+                                                  tenant=tenant))
+                except (RetryableError, DeadlineExceeded):
+                    # Behave like a well-mannered client: drain the
+                    # admitted backlog, then retry once.
+                    gateway.flush()
+                    try:
+                        pending.append(gateway.submit(x, args.mode,
+                                                      tenant=tenant))
+                    except (RetryableError, DeadlineExceeded):
+                        rejected += 1
+            gateway.flush()
+            for request in pending:
+                try:
+                    request.result(0.0)
+                    served += 1
+                except (RetryableError, DeadlineExceeded):
+                    rejected += 1
+        report = gateway.report()
+    console_log(f"served {served} requests, shed {rejected} "
+                f"({report['shed']}) — admitted per tenant "
+                f"{report['admission']['admitted']}")
+    latency = report["latency"][args.mode]
+    if latency["count"]:
+        console_log(f"latency per request: p50={latency['p50_ms']:.2f}ms "
+                    f"p95={latency['p95_ms']:.2f}ms over "
+                    f"{latency['count']} requests")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n")
+        console_log(f"wrote {args.report}")
+    if args.obs_export is not None:
+        from . import obs
+
+        args.obs_export.parent.mkdir(parents=True, exist_ok=True)
+        args.obs_export.write_text(obs.prometheus_text(obs.get_registry()))
+        console_log(f"wrote {args.obs_export}")
+    if run is not None:
+        run.finish(status="completed")
+        console_log(f"recorded run {run.run_id} under {args.run_root}")
+    return 0
+
+
 def _run_serve(args) -> int:
     """``repro serve`` — serve embeddings/predictions from a checkpoint."""
     import numpy as np
@@ -244,7 +351,10 @@ def _run_serve(args) -> int:
     if args.telemetry:
         run = Run.create(root=args.run_root, name="serve",
                          tags={"mode": args.mode,
-                               "checkpoint": str(args.checkpoint)})
+                               "checkpoint": str(args.checkpoint),
+                               "gateway": bool(args.gateway)})
+    if args.gateway:
+        return _run_serve_gateway(args, run)
     config = ServiceConfig(max_batch_size=args.batch_size,
                            max_wait_ms=args.max_wait_ms,
                            cache_size=args.cache_size)
@@ -306,6 +416,87 @@ def _run_serve(args) -> int:
         run.finish(status="completed")
         console_log(f"recorded run {run.run_id} under {args.run_root}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro swap`` — zero-downtime rolling model swap
+# ----------------------------------------------------------------------
+def _run_swap(args) -> int:
+    """Shadow-validate ``--candidate`` on live traffic and flip the alias.
+
+    Exit codes: 0 the candidate was promoted, 4 it was rolled back
+    (shadow validation failed), 1 anything else went wrong.
+    """
+    import numpy as np
+
+    from .serve import (GatewayConfig, ModelRegistry, RegistryError,
+                        ServingGateway, SwapConfig, SwapFailed)
+
+    run = None
+    if args.telemetry:
+        run = Run.create(root=args.run_root, name="swap",
+                         tags={"checkpoint": str(args.checkpoint),
+                               "candidate": str(args.candidate)})
+    try:
+        registry = ModelRegistry(run=run)
+        registry.load(str(args.checkpoint), alias="serving",
+                      run_root=str(args.run_root))
+        gateway = ServingGateway(registry, "serving", GatewayConfig(),
+                                 run=run)
+        config = SwapConfig(shadow_requests=args.shadow_requests,
+                            latency_budget_ms=args.latency_budget_ms,
+                            max_abs_diff=args.max_abs_diff)
+        console_log(f"serving {gateway.fingerprint[:12]} — shadowing "
+                    f"candidate {args.candidate} over "
+                    f"{config.shadow_requests} mirrored requests "
+                    f"(budget {config.latency_budget_ms:.0f}ms, "
+                    f"tolerance {config.max_abs_diff})")
+        with gateway:
+            handle = gateway.begin_swap(str(args.candidate), config,
+                                        run_root=str(args.run_root))
+            # Drive live traffic so there is something to mirror.  Each
+            # request both serves the caller and feeds one shadow verdict.
+            loaded = gateway.loaded
+            rng = np.random.default_rng(args.seed)
+            size = max(1, args.request_size)
+            requests = max(args.traffic // size if args.traffic else 0,
+                           config.shadow_requests + 2)
+            for index in range(requests):
+                x = rng.standard_normal(
+                    (size, loaded.config.seq_len,
+                     loaded.config.input_channels)).astype(np.float32)
+                if args.mode == "encode":
+                    gateway.encode(x)
+                else:
+                    gateway.predict(x)
+                if handle.done():
+                    break
+            if not handle.done():
+                gateway.abort_swap()
+            report = handle.wait(60.0)
+    except (RegistryError, SwapFailed, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        if run is not None:
+            run.finish(status="failed")
+        return 1
+    shadow = report["shadow"]
+    console_log(f"shadow verdicts: {shadow['passed']} passed, "
+                f"{shadow['failed']} failed of {shadow['mirrored']} "
+                f"mirrored (max |diff| {shadow['max_abs_diff']:.3g}, "
+                f"max latency {shadow['max_latency_ms']:.2f}ms)")
+    console_log(f"{report['outcome']}: serving "
+                f"{report['serving_fingerprint'][:12]} "
+                f"(was {report['previous_fingerprint'][:12]}, candidate "
+                f"{report['candidate_fingerprint'][:12]})")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2, sort_keys=True)
+                               + "\n")
+        console_log(f"wrote {args.report}")
+    if run is not None:
+        run.finish(status="completed")
+        console_log(f"recorded run {run.run_id} under {args.run_root}")
+    return 0 if report["outcome"] == "promoted" else 4
 
 
 # ----------------------------------------------------------------------
@@ -629,7 +820,8 @@ def _runs_diff(args) -> int:
 
 def _runs_tail(args) -> int:
     run = find_run(args.run_id, args.root)
-    for event in tail_events(run, args.count):
+    types = tuple(args.type) if args.type else None
+    for event in tail_events(run, args.count, types=types):
         console_log(json.dumps(event, sort_keys=True))
     return 0
 
@@ -755,6 +947,56 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="after serving, write the Prometheus text "
                             "exposition here (implies --obs)")
+    serve.add_argument("--gateway", action="store_true",
+                       help="serve through the resilient multi-tenant "
+                            "gateway (admission control, deadlines, "
+                            "circuit breaker) instead of the bare service")
+    serve.add_argument("--tenant", action="append", default=None,
+                       metavar="NAME[:WEIGHT[:RATE[:BURST]]]",
+                       help="gateway tenant spec (repeatable); WEIGHT is "
+                            "the fair-share weight, RATE/BURST the "
+                            "token-bucket quota in windows/s")
+    serve.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="gateway per-request deadline (0 = none)")
+    serve.add_argument("--queue-windows", type=int, default=1024,
+                       help="gateway in-flight window budget before "
+                            "overload shedding")
+    serve.add_argument("--stale-ok", action="store_true",
+                       help="while the breaker is open, allow cache "
+                            "answers computed by previous model weights")
+
+    swap = sub.add_parser(
+        "swap", help="zero-downtime rolling model swap: shadow-validate a "
+                     "candidate checkpoint on live traffic, then flip "
+                     "(exit 0 promoted, 4 rolled back)")
+    swap.set_defaults(experiment="swap")
+    swap.add_argument("--checkpoint", required=True,
+                      help="currently-serving checkpoint (file, directory, "
+                           "or run id)")
+    swap.add_argument("--candidate", required=True,
+                      help="candidate checkpoint to shadow-validate")
+    swap.add_argument("--shadow-requests", type=int, default=8,
+                      help="mirrored live requests the candidate must pass")
+    swap.add_argument("--latency-budget-ms", type=float, default=250.0,
+                      help="max per-mirror candidate latency")
+    swap.add_argument("--max-abs-diff", type=float, default=0.0,
+                      help="output tolerance vs live (0 = bit-compare)")
+    swap.add_argument("--traffic", type=int, default=0, metavar="N",
+                      help="drive N synthetic live windows through the "
+                           "gateway during shadowing (default: just enough "
+                           "to score the shadow requests)")
+    swap.add_argument("--request-size", type=int, default=2,
+                      help="windows per live request")
+    swap.add_argument("--mode", choices=("encode", "predict"),
+                      default="encode")
+    swap.add_argument("--seed", type=int, default=0)
+    swap.add_argument("--report", type=pathlib.Path, default=None,
+                      help="write the JSON swap report here")
+    swap.add_argument("--telemetry", action="store_true",
+                      help="record the swap as a telemetry run "
+                           "(swap/swap_shadow events)")
+    swap.add_argument("--run-root", type=pathlib.Path,
+                      default=_DEFAULT_RUN_ROOT)
 
     obs_parser = sub.add_parser(
         "obs", help="observability: metrics snapshot, Prometheus/JSON "
@@ -844,6 +1086,10 @@ def build_parser() -> argparse.ArgumentParser:
     runs_tail = runs_sub.add_parser("tail", help="print a run's last events")
     runs_tail.add_argument("run_id")
     runs_tail.add_argument("-n", "--count", type=int, default=20)
+    runs_tail.add_argument("--type", action="append", default=None,
+                           metavar="TYPE",
+                           help="only events of this type (repeatable; e.g. "
+                                "--type swap --type swap_shadow)")
     runs_resume = runs_sub.add_parser(
         "resume", help="restart pre-training from a run's newest valid "
                        "checkpoint (or from a checkpoint directory)")
@@ -905,6 +1151,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.obs_export is not None:
             args.obs = True
         return _run_serve(args)
+    if args.experiment == "swap":
+        return _run_swap(args)
     if args.experiment == "obs":
         return _run_obs(args)
     if args.experiment == "data":

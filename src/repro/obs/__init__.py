@@ -39,6 +39,7 @@ _LAZY = {
     # sampling / SLO / dashboard
     "ResourceSampler": "sampler",
     "SloRule": "slo", "SloRules": "slo", "SloParseError": "slo",
+    "GATEWAY_SLO_RULES": "slo",
     "Dashboard": "dashboard",
 }
 

@@ -25,7 +25,21 @@ from dataclasses import dataclass
 from .export import flatten_snapshot
 from .metrics import get_registry
 
-__all__ = ["SloRule", "SloRules", "SloParseError"]
+__all__ = ["SloRule", "SloRules", "SloParseError", "GATEWAY_SLO_RULES"]
+
+#: Default SLO predicates for a serving gateway (``repro serve
+#: --gateway``).  Names follow :func:`~repro.obs.export.flatten_snapshot`:
+#: labeled counter children flatten to ``name{label="value"}`` and
+#: histograms to ``name_p95`` etc.  The rules encode the robustness
+#: contract: accepted-request latency stays bounded (shedding is how —
+#: sheds themselves are *not* violations), the breaker is not stuck
+#: open, and degraded answers stay the exception.
+GATEWAY_SLO_RULES = (
+    "gateway_request_ms_p95 < 250",
+    "gateway_breaker_state < 2",
+    "gateway_shed_total{reason=\"deadline\"} == 0",
+    "gateway_degraded_total < 100",
+)
 
 
 class SloParseError(ValueError):

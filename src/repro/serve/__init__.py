@@ -15,6 +15,18 @@ Components:
   latency-report format.
 * :mod:`~repro.serve.service` — :class:`InferenceService`: registry +
   engine + cache behind one façade, with telemetry spans.
+* :mod:`~repro.serve.errors` — the typed gateway error taxonomy
+  (:class:`Overloaded`, :class:`QuotaExceeded`, :class:`DeadlineExceeded`,
+  :class:`CircuitOpen`, :class:`EngineClosed`, :class:`SwapFailed`).
+* :mod:`~repro.serve.admission` — per-tenant token-bucket quotas and
+  start-time fair queuing (:class:`AdmissionController`,
+  :class:`FairScheduler`).
+* :mod:`~repro.serve.breaker` — :class:`CircuitBreaker` with jittered
+  half-open probing.
+* :mod:`~repro.serve.gateway` — :class:`ServingGateway`: the resilient
+  multi-tenant front door (admission, deadlines, breaker, rolling swap).
+* :mod:`~repro.serve.swap` — shadow validation and the zero-downtime
+  swap protocol.
 
 Everything beyond :mod:`api` is imported lazily (PEP 562): ``core`` and
 ``baselines`` import :mod:`repro.serve.api` for the protocol types, and
@@ -44,6 +56,28 @@ __all__ = [
     "latency_report",
     "InferenceService",
     "ServiceConfig",
+    "GatewayError",
+    "RetryableError",
+    "Overloaded",
+    "QuotaExceeded",
+    "DeadlineExceeded",
+    "CircuitOpen",
+    "EngineClosed",
+    "SwapFailed",
+    "TenantConfig",
+    "TokenBucket",
+    "AdmissionController",
+    "FairScheduler",
+    "DEFAULT_TENANT",
+    "CircuitBreaker",
+    "BreakerConfig",
+    "ServingGateway",
+    "GatewayConfig",
+    "GatewayRequest",
+    "SwapConfig",
+    "ShadowValidator",
+    "ShadowVerdict",
+    "SwapHandle",
 ]
 
 _LAZY = {
@@ -60,6 +94,28 @@ _LAZY = {
     "latency_report": ".metrics",
     "InferenceService": ".service",
     "ServiceConfig": ".service",
+    "GatewayError": ".errors",
+    "RetryableError": ".errors",
+    "Overloaded": ".errors",
+    "QuotaExceeded": ".errors",
+    "DeadlineExceeded": ".errors",
+    "CircuitOpen": ".errors",
+    "EngineClosed": ".errors",
+    "SwapFailed": ".errors",
+    "TenantConfig": ".admission",
+    "TokenBucket": ".admission",
+    "AdmissionController": ".admission",
+    "FairScheduler": ".admission",
+    "DEFAULT_TENANT": ".admission",
+    "CircuitBreaker": ".breaker",
+    "BreakerConfig": ".breaker",
+    "ServingGateway": ".gateway",
+    "GatewayConfig": ".gateway",
+    "GatewayRequest": ".gateway",
+    "SwapConfig": ".swap",
+    "ShadowValidator": ".swap",
+    "ShadowVerdict": ".swap",
+    "SwapHandle": ".swap",
 }
 
 

@@ -1,0 +1,265 @@
+"""Multi-tenant admission control: quotas, load shedding, fairness.
+
+Three cooperating pieces, all synchronous and lock-protected so counts
+stay exact under concurrent submitters:
+
+* :class:`TokenBucket` — the per-tenant quota.  Buckets hold *windows*
+  (the unit of serving work), refill continuously at ``rate`` windows/s
+  up to ``burst``, and report how long a rejected caller should wait.
+* :class:`AdmissionController` — the gateway's door.  A request is
+  admitted only if its tenant's bucket can pay for it **and** the
+  gateway-wide in-flight window budget has room; otherwise it is shed
+  *at the door* with a typed, retryable error
+  (:class:`~repro.serve.errors.QuotaExceeded` /
+  :class:`~repro.serve.errors.Overloaded`) instead of joining a queue it
+  would only time out in.  Shedding is what keeps accepted-request
+  latency bounded under overload — the benchmark's no-gateway baseline
+  shows the alternative.
+* :class:`FairScheduler` — start-time fair queuing over tenants.  Each
+  tenant carries a virtual finish tag advanced by ``windows / weight``
+  per request; the dispatcher always serves the smallest tag, so a
+  weight-3 tenant gets 3x the windows of a weight-1 tenant under
+  contention while an idle tenant's first request is served immediately
+  (its tag restarts at the current virtual time — no banked credit, no
+  starvation).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .errors import Overloaded, QuotaExceeded
+
+__all__ = ["TenantConfig", "TokenBucket", "AdmissionController",
+           "FairScheduler", "DEFAULT_TENANT"]
+
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's quota and fair-share weight.
+
+    ``rate`` is the sustained budget in windows/second and ``burst`` the
+    bucket capacity (how far a quiet tenant can briefly exceed its
+    rate).  The defaults are unlimited — a single-tenant gateway behaves
+    exactly like the bare engine.
+    """
+
+    name: str = DEFAULT_TENANT
+    weight: float = 1.0
+    rate: float = math.inf
+    burst: float = math.inf
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("weight must be > 0")
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("rate and burst must be > 0 "
+                             "(use math.inf for unlimited)")
+
+
+class TokenBucket:
+    """Continuous-refill token bucket; tokens are windows of work."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self, amount: float) -> float:
+        """Take ``amount`` tokens; returns 0.0 on success, else the
+        seconds until the bucket could cover the request (``inf`` when
+        ``amount`` exceeds ``burst`` — that request can never pass)."""
+        with self._lock:
+            now = self._clock()
+            if self.rate != math.inf:
+                self._tokens = min(self.burst, self._tokens
+                                   + (now - self._refilled) * self.rate)
+            self._refilled = now
+            if amount > self.burst:
+                return math.inf
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return 0.0
+            if self.rate == math.inf:  # burst-capped but instant refill
+                return 0.0 if math.isinf(self.burst) else 1e-3
+            return (amount - self._tokens) / self.rate
+
+    def refund(self, amount: float) -> None:
+        """Return tokens taken for a request that was later refused."""
+        with self._lock:
+            self._tokens = min(self.burst, self._tokens + amount)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class AdmissionController:
+    """Quota + bounded-queue admission for the gateway's front door.
+
+    ``max_queue_windows`` bounds the windows admitted but not yet
+    fulfilled across all tenants (gateway queues + engine queue): the
+    knob that turns unbounded queueing delay into typed shedding.
+    """
+
+    def __init__(self, tenants=None, max_queue_windows: int = 1024,
+                 clock=time.monotonic):
+        if max_queue_windows < 1:
+            raise ValueError("max_queue_windows must be >= 1")
+        self.max_queue_windows = max_queue_windows
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantConfig] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._in_flight = 0
+        self.admitted: dict[str, int] = {}
+        self.shed: dict[str, int] = {}
+        for tenant in tenants or (TenantConfig(),):
+            self.add_tenant(tenant)
+
+    def add_tenant(self, config: TenantConfig) -> None:
+        with self._lock:
+            self._tenants[config.name] = config
+            self._buckets[config.name] = TokenBucket(
+                config.rate, config.burst, clock=self._clock)
+            self.admitted.setdefault(config.name, 0)
+            self.shed.setdefault(config.name, 0)
+
+    def tenant(self, name: str) -> TenantConfig:
+        with self._lock:
+            config = self._tenants.get(name)
+        if config is None:
+            raise KeyError(f"unknown tenant {name!r}; "
+                           f"known: {sorted(self._tenants)}")
+        return config
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def admit(self, tenant: str, windows: int,
+              retry_after_s: float = 0.05) -> TenantConfig:
+        """Admit ``windows`` for ``tenant`` or raise a typed rejection.
+
+        Quota is checked before the queue bound so a tenant over its own
+        budget is reported as such even when the gateway is also busy.
+        On success the tenant's bucket is debited and the in-flight
+        budget reserved; the gateway must call :meth:`release` exactly
+        once per admitted request when it resolves.
+        """
+        config = self.tenant(tenant)
+        bucket = self._buckets[tenant]
+        wait = bucket.try_take(windows)
+        if wait > 0:
+            with self._lock:
+                self.shed[tenant] += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is over quota "
+                f"(rate={config.rate}/s, burst={config.burst}); "
+                f"retry in {min(wait, 60):.3f}s",
+                retry_after_s=min(wait, 60.0))
+        overloaded = None
+        with self._lock:
+            if self._in_flight + windows > self.max_queue_windows:
+                self.shed[tenant] += 1
+                overloaded = Overloaded(
+                    f"gateway over capacity ({self._in_flight} windows in "
+                    f"flight, budget {self.max_queue_windows}); retry in "
+                    f"{retry_after_s:.3f}s", retry_after_s=retry_after_s)
+            else:
+                self._in_flight += windows
+                self.admitted[tenant] += 1
+        if overloaded is not None:
+            # Quota was paid but the request is refused at the queue
+            # bound: give the tokens back so shedding doesn't
+            # double-charge the tenant.
+            bucket.refund(windows)
+            raise overloaded
+        return config
+
+    def release(self, windows: int) -> None:
+        """Return ``windows`` to the in-flight budget (request resolved)."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - windows)
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {"admitted": dict(self.admitted),
+                    "shed": dict(self.shed),
+                    "in_flight_windows": self._in_flight}
+
+
+@dataclass(order=True)
+class _Tagged:
+    tag: float
+    seq: int
+    item: object = field(compare=False)
+
+
+class FairScheduler:
+    """Start-time fair queuing: per-tenant FIFOs drained by virtual tag.
+
+    ``enqueue`` stamps a request with its tenant's virtual finish tag
+    (monotone within a tenant, advanced by ``windows / weight``);
+    ``pop`` returns the globally smallest-tagged request, ties broken by
+    arrival order.  All state sits behind one lock — exactness under
+    8-thread submitters is part of the contract (tests/serve).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queues: dict[str, list[_Tagged]] = {}
+        self._tags: dict[str, float] = {}
+        self._vtime = 0.0
+        self._seq = 0
+        self.dispatched: dict[str, int] = {}  # windows handed out, per tenant
+
+    def enqueue(self, tenant: str, weight: float, windows: int,
+                item) -> None:
+        with self._lock:
+            tag = max(self._vtime, self._tags.get(tenant, 0.0))
+            self._tags[tenant] = tag + windows / weight
+            self._seq += 1
+            self._queues.setdefault(tenant, []).append(
+                _Tagged(tag, self._seq, (tenant, windows, item)))
+
+    def pop(self):
+        """Next ``(tenant, windows, item)`` in fair order, or ``None``."""
+        with self._lock:
+            best_key = None
+            for tenant, queue in self._queues.items():
+                if queue and (best_key is None or queue[0] < self._queues[best_key][0]):
+                    best_key = tenant
+            if best_key is None:
+                return None
+            tagged = self._queues[best_key].pop(0)
+            tenant, windows, item = tagged.item
+            # Advance virtual time so a tenant that went idle re-enters
+            # at "now" instead of with banked credit.
+            self._vtime = max(self._vtime, tagged.tag)
+            self.dispatched[tenant] = self.dispatched.get(tenant, 0) + windows
+            return tagged.item
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def drain(self) -> list:
+        """Pop everything (close path); fair order preserved."""
+        items = []
+        while True:
+            item = self.pop()
+            if item is None:
+                return items
+            items.append(item)

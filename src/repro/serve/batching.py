@@ -40,6 +40,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.metrics import get_registry
 from .cache import EmbeddingCache, input_digest
+from .errors import DeadlineExceeded, EngineClosed
 from .metrics import LatencyHistogram
 from .registry import LoadedModel
 
@@ -100,12 +101,24 @@ class BatchingConfig:
 
 
 class InferenceRequest:
-    """Handle for one submitted request; fulfilled by the engine."""
+    """Handle for one submitted request; fulfilled by the engine.
 
-    def __init__(self, kind: str, x: np.ndarray, digest: str | None):
+    ``deadline_s`` (absolute ``time.perf_counter()`` time, optional) is
+    the latest moment a forward pass may *start* on this request; the
+    engine sweeps expired requests out of every batch it takes and fails
+    them with :class:`DeadlineExceeded`.  ``on_done`` (optional) is
+    invoked with the request once it resolves — result or error — on the
+    fulfilling thread; the gateway uses it for breaker/fairness
+    accounting and traffic mirroring.
+    """
+
+    def __init__(self, kind: str, x: np.ndarray, digest: str | None,
+                 deadline_s: float | None = None, on_done=None):
         self.kind = kind
         self.x = x
         self.digest = digest
+        self.deadline_s = deadline_s
+        self.on_done = on_done
         self.trace: obs_trace.TraceContext | None = None
         self.submitted = time.perf_counter()
         self._done = threading.Event()
@@ -127,10 +140,22 @@ class InferenceRequest:
             raise self._error
         return self._value
 
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_s is None:
+            return False
+        return (now if now is not None else time.perf_counter()) >= self.deadline_s
+
     def _fulfil(self, value, error: BaseException | None = None) -> None:
         self._value = value
         self._error = error
         self._done.set()
+        if self.on_done is not None:
+            try:
+                self.on_done(self)
+            except Exception:
+                # A misbehaving observer must not poison the rest of the
+                # batch; the request itself already resolved above.
+                pass
 
 
 class BatchingEngine:
@@ -154,6 +179,7 @@ class BatchingEngine:
         self._stats_lock = threading.Lock()
         self._worker: threading.Thread | None = None
         self._stopping = False
+        self._closed = False
         # Benign race: submit (caller threads) and _process (worker) may
         # both rebuild after a registry swap; the registry hands back the
         # same families/children either way.
@@ -167,19 +193,32 @@ class BatchingEngine:
             self._obs = handles
         return handles
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     # -- submission -------------------------------------------------------
-    def submit(self, x: np.ndarray, kind: str = "encode") -> InferenceRequest:
+    def submit(self, x: np.ndarray, kind: str = "encode",
+               deadline_s: float | None = None,
+               on_done=None) -> InferenceRequest:
         """Enqueue one request of ``n >= 1`` windows ``(n, T, C)``.
 
         The input is validated against the model's data spec up front —
         a malformed request must fail fast at the door, not poison the
-        micro-batch it would have been coalesced into.
+        micro-batch it would have been coalesced into.  A ``deadline_s``
+        already in the past is likewise rejected synchronously.
         """
+        if self._closed:
+            raise EngineClosed("engine is closed; no new requests accepted")
         if kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
         x = self.loaded.validate_input(x)
+        if deadline_s is not None and time.perf_counter() >= deadline_s:
+            raise DeadlineExceeded(
+                "request deadline expired before submission", waited_ms=0.0)
         digest = input_digest(x) if self.cache is not None else None
-        request = InferenceRequest(kind, x, digest)
+        request = InferenceRequest(kind, x, digest, deadline_s=deadline_s,
+                                   on_done=on_done)
         # The submit span's context rides on the request so the worker
         # thread can adopt it — one trace_id from caller to fulfilment.
         # record_span instead of span(): no nested span derives from the
@@ -189,6 +228,11 @@ class BatchingEngine:
             ctx = request.trace = obs_trace.child_context()
             start = time.perf_counter()
         with self._wakeup:
+            # Re-checked under the lock: a close() racing with this
+            # submit must either refuse the request here or fail it in
+            # its own final sweep — never leave the future unresolved.
+            if self._closed:
+                raise EngineClosed("engine is closed; no new requests accepted")
             self._queue.append(request)
             depth = len(self._queue)
             self._wakeup.notify()
@@ -215,18 +259,25 @@ class BatchingEngine:
 
     # -- deferred draining ------------------------------------------------
     def flush(self) -> int:
-        """Drain the queue in micro-batches; returns requests fulfilled."""
+        """Drain the queue in micro-batches; returns requests fulfilled.
+
+        Expired requests resolve to :class:`DeadlineExceeded`; a batch
+        whose processing crashes resolves to that error — either way
+        every drained request is fulfilled.
+        """
         fulfilled = 0
         while True:
             batch = self._take_batch(wait=False)
             if not batch:
                 return fulfilled
-            self._process(batch)
+            self._run_batch(batch)
             fulfilled += len(batch)
 
     # -- threaded draining ------------------------------------------------
     def start(self) -> "BatchingEngine":
         """Launch the background worker (idempotent)."""
+        if self._closed:
+            raise EngineClosed("engine is closed; cannot restart the worker")
         if self._worker is None:
             self._stopping = False
             self._worker = threading.Thread(target=self._worker_loop,
@@ -235,7 +286,8 @@ class BatchingEngine:
         return self
 
     def stop(self) -> None:
-        """Drain remaining requests and join the worker."""
+        """Drain remaining requests and join the worker (engine stays
+        open: a stopped engine accepts submits and can ``start()`` again)."""
         worker = self._worker
         if worker is None:
             return
@@ -246,11 +298,41 @@ class BatchingEngine:
         self._worker = None
         self.flush()  # anything submitted after the worker observed stop
 
+    def close(self, drain: bool = True) -> None:
+        """Shut the engine down; every outstanding request resolves.
+
+        With ``drain=True`` (default) queued requests are still served;
+        with ``drain=False`` they fail with :class:`EngineClosed`.
+        Either way no future is left unresolved, submissions after close
+        raise :class:`EngineClosed`, and closing twice is a no-op.
+        """
+        with self._wakeup:
+            self._closed = True  # refuses new submits from here on
+            self._stopping = True
+            self._wakeup.notify_all()
+        worker = self._worker
+        if worker is not None:
+            worker.join()
+            self._worker = None
+        if drain:
+            self.flush()
+        with self._wakeup:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        if leftovers:
+            error = EngineClosed("engine closed before the request ran")
+            for request in leftovers:
+                request._fulfil(None, error)
+            get_registry().counter(
+                "serve_rejected_total", "Requests failed without a forward "
+                "pass", labels=("reason",)).labels(reason="closed").inc(
+                    len(leftovers))
+
     def __enter__(self) -> "BatchingEngine":
         return self.start()
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        self.close()
 
     def stats(self) -> dict:
         """Consistent snapshot of the engine counters."""
@@ -264,45 +346,102 @@ class BatchingEngine:
             if batch is None:  # stop requested, queue empty
                 return
             if batch:
-                self._process(batch)
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: list[InferenceRequest]) -> None:
+        """Run one micro-batch with a crash boundary around it.
+
+        ``_process`` already scatters *forward-pass* failures to the
+        batch's waiters; this boundary additionally catches crashes in
+        the batching machinery itself (cache, metrics, scatter), so a
+        worker-thread crash mid-batch fails only that batch's requests
+        and the engine — worker included — stays serviceable.
+        """
+        try:
+            self._process(batch)
+        except BaseException as error:
+            for request in batch:
+                if not request.done():
+                    request._fulfil(None, error)
+            get_registry().counter(
+                "serve_batch_failures_total",
+                "Micro-batches that crashed outside the forward pass").inc()
 
     # -- batching core ----------------------------------------------------
     def _take_batch(self, wait: bool):
         """Pop the next micro-batch: same-kind prefix of the queue, up to
         ``max_batch_size`` windows.
 
-        In waiting mode, blocks until the batch is full, the oldest
-        request exceeds the max-wait deadline, or stop is requested
-        (``None`` means: stopping and nothing left).
+        Requests whose deadline expired while queued are swept out first
+        and failed with :class:`DeadlineExceeded` — a forward pass never
+        starts on an answer nobody is waiting for.  In waiting mode,
+        blocks until the batch is full, the oldest request exceeds the
+        max-wait deadline, the nearest request deadline is due, or stop
+        is requested (``None`` means: stopping and nothing left).
         """
         max_windows = self.config.max_batch_size
         deadline_s = self.config.max_wait_ms / 1e3
-        with self._wakeup:
-            if wait:
-                while True:
-                    if self._queue:
-                        oldest = self._queue[0].submitted
-                        if (self._full_locked(max_windows)
-                                or time.perf_counter() - oldest >= deadline_s
-                                or self._stopping):
-                            break
-                        remaining = deadline_s - (time.perf_counter() - oldest)
-                        self._wakeup.wait(timeout=max(remaining, 1e-4))
-                    elif self._stopping:
-                        return None
-                    else:
-                        self._wakeup.wait()
-            if not self._queue:
-                return []
-            kind = self._queue[0].kind
-            batch, windows = [], 0
-            while (self._queue and self._queue[0].kind == kind
-                   and (not batch
-                        or windows + self._queue[0].windows <= max_windows)):
-                request = self._queue.pop(0)
-                windows += request.windows
-                batch.append(request)
-            return batch
+        expired: list[InferenceRequest] = []
+        try:
+            with self._wakeup:
+                if wait:
+                    while True:
+                        self._sweep_expired_locked(expired)
+                        if self._queue:
+                            now = time.perf_counter()
+                            oldest = self._queue[0].submitted
+                            if (self._full_locked(max_windows)
+                                    or now - oldest >= deadline_s
+                                    or self._stopping):
+                                break
+                            remaining = deadline_s - (now - oldest)
+                            nearest = min((r.deadline_s for r in self._queue
+                                           if r.deadline_s is not None),
+                                          default=None)
+                            if nearest is not None:
+                                remaining = min(remaining, nearest - now)
+                            self._wakeup.wait(timeout=max(remaining, 1e-4))
+                        elif self._stopping:
+                            return None
+                        else:
+                            self._wakeup.wait()
+                else:
+                    self._sweep_expired_locked(expired)
+                if not self._queue:
+                    return []
+                kind = self._queue[0].kind
+                batch, windows = [], 0
+                while (self._queue and self._queue[0].kind == kind
+                       and (not batch
+                            or windows + self._queue[0].windows <= max_windows)):
+                    request = self._queue.pop(0)
+                    windows += request.windows
+                    batch.append(request)
+                return batch
+        finally:
+            if expired:
+                self._reject_expired(expired)
+
+    def _sweep_expired_locked(self, expired: list[InferenceRequest]) -> None:
+        now = time.perf_counter()
+        if any(r.expired(now) for r in self._queue):
+            keep = []
+            for request in self._queue:
+                (expired if request.expired(now) else keep).append(request)
+            self._queue[:] = keep
+
+    def _reject_expired(self, expired: list[InferenceRequest]) -> None:
+        """Fulfil swept requests outside the queue lock (``on_done``
+        observers may re-enter the engine)."""
+        now = time.perf_counter()
+        for request in expired:
+            waited_ms = (now - request.submitted) * 1e3
+            request._fulfil(None, DeadlineExceeded(
+                f"deadline expired after {waited_ms:.1f}ms in queue, before "
+                "a forward pass started", waited_ms=waited_ms))
+        get_registry().counter(
+            "serve_rejected_total", "Requests failed without a forward pass",
+            labels=("reason",)).labels(reason="deadline").inc(len(expired))
 
     def _full_locked(self, max_windows: int) -> bool:
         kind = self._queue[0].kind

@@ -147,6 +147,24 @@ class EmbeddingCache:
             self._obs_counters()[3].inc()
         return frozen
 
+    def get_stale(self, digest: str, kind: str = "encode"):
+        """Degraded-mode lookup: the most recently used entry for this
+        input under *any* fingerprint.
+
+        Only the gateway's circuit-breaker ``stale_ok`` path calls this
+        — when the alias's breaker is open, an answer computed by a
+        previous set of weights beats no answer at all, and the caller
+        has explicitly opted into that trade.  Does not touch the
+        hit/miss counters (a degraded serve is not a cache hit; the
+        gateway counts it under its own ``gateway_degraded_total``), and
+        the O(size) scan only runs while the breaker is open.
+        """
+        with self._lock:
+            for key in reversed(self._entries):
+                if key[1] == digest and key[2] == kind:
+                    return self._entries[key]
+        return None
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

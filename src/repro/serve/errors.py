@@ -1,0 +1,72 @@
+"""Typed serving errors: every way a request can fail, named.
+
+The resilience contract of the gateway and engine is that a submitted
+request always resolves — to a result or to one of these errors, never
+to a hang or a bare ``RuntimeError``.  Each class is one row of the
+failure matrix in ``docs/robustness.md``; clients dispatch on type, and
+the retryable ones carry ``retry_after_s`` so a well-behaved client can
+back off exactly as long as the server asked.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GatewayError", "RetryableError", "Overloaded", "QuotaExceeded",
+           "DeadlineExceeded", "CircuitOpen", "EngineClosed", "SwapFailed"]
+
+
+class GatewayError(RuntimeError):
+    """Base class for typed serving-path failures."""
+
+
+class RetryableError(GatewayError):
+    """A rejection the client may retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.05):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class Overloaded(RetryableError):
+    """Bounded-queue load shedding: the gateway's in-flight window budget
+    is spent, so the request is refused at the door instead of joining a
+    queue it would only time out in."""
+
+
+class QuotaExceeded(Overloaded):
+    """The tenant's token bucket is empty — per-tenant rate limiting, a
+    subtype of :class:`Overloaded` so quota-blind clients can treat both
+    as 'come back in ``retry_after_s``'."""
+
+
+class DeadlineExceeded(GatewayError):
+    """The request's deadline expired before a forward pass started.
+
+    Raised synchronously when the deadline is already past at submit,
+    and delivered through ``result()`` when the request expired while
+    queued — the engine sweeps expired requests out of every batch it
+    takes, so a deadline storm cannot waste forward passes on answers
+    nobody is waiting for.
+    """
+
+    def __init__(self, message: str, deadline_ms: float | None = None,
+                 waited_ms: float | None = None):
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
+
+
+class CircuitOpen(RetryableError):
+    """The alias's circuit breaker is open and no degraded answer (cache
+    hit, ``stale_ok`` entry) was available for this request."""
+
+
+class EngineClosed(GatewayError):
+    """The engine (or gateway) was closed: pending requests are failed
+    with this error and new submissions are refused — a shutdown is an
+    observable, typed event, not a hang on an unresolved future."""
+
+
+class SwapFailed(GatewayError):
+    """A rolling model swap could not run (bad candidate, swap already in
+    progress).  Shadow-validation *verdict* failures do not raise — they
+    roll back and are reported in the swap report."""

@@ -16,13 +16,13 @@ different set of weights.
 
 from __future__ import annotations
 
-import pathlib
+import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..checkpoint.manager import CheckpointManager
+from ..checkpoint.manager import CheckpointError, resolve_checkpoint_source
 from ..core.config import TimeDRLConfig
 from ..core.model import TimeDRL
 from ..obs import trace as obs_trace
@@ -90,25 +90,33 @@ class ModelRegistry:
 
     def __init__(self, run=None):
         self._pool: dict[str, LoadedModel] = {}
+        # The gateway reads aliases from its dispatch path while a
+        # rolling swap loads/promotes/unloads concurrently; every pool
+        # access goes through this lock so a flip is atomic.
+        self._lock = threading.Lock()
         self._run = run
 
     # -- pool ------------------------------------------------------------
     def __contains__(self, alias: str) -> bool:
-        return alias in self._pool
+        with self._lock:
+            return alias in self._pool
 
     def __len__(self) -> int:
-        return len(self._pool)
+        with self._lock:
+            return len(self._pool)
 
     def aliases(self) -> list[str]:
-        return sorted(self._pool)
+        with self._lock:
+            return sorted(self._pool)
 
     def get(self, alias: str) -> LoadedModel:
-        try:
-            return self._pool[alias]
-        except KeyError:
+        with self._lock:
+            loaded = self._pool.get(alias)
+        if loaded is None:
             raise RegistryError(
                 f"no model loaded under alias {alias!r}; "
-                f"known: {self.aliases() or 'none'}") from None
+                f"known: {self.aliases() or 'none'}")
+        return loaded
 
     def register(self, alias: str, model: TimeDRL, fingerprint: str,
                  meta: dict | None = None, source: str = "<memory>"
@@ -118,8 +126,31 @@ class ModelRegistry:
         loaded = LoadedModel(model=model, fingerprint=fingerprint,
                              config=model.config, meta=meta or {},
                              source=source)
-        self._pool[alias] = loaded
+        with self._lock:
+            self._pool[alias] = loaded
         return loaded
+
+    def promote(self, alias: str, candidate: LoadedModel
+                ) -> LoadedModel | None:
+        """Atomically point ``alias`` at ``candidate``; returns the model
+        previously behind the alias (``None`` if the alias is new).
+
+        This is the flip at the end of a rolling swap: a reader sees
+        either the old model or the new one, never an empty alias.
+        """
+        with self._lock:
+            previous = self._pool.get(alias)
+            self._pool[alias] = candidate
+        if self._run is not None and getattr(self._run, "enabled", False):
+            self._run.emit("message",
+                           text=f"serve: alias {alias!r} now serves "
+                                f"fingerprint={candidate.fingerprint[:12]}")
+        return previous
+
+    def unload(self, alias: str) -> LoadedModel | None:
+        """Drop an alias from the warm pool (rollback of a candidate)."""
+        with self._lock:
+            return self._pool.pop(alias, None)
 
     # -- loading ---------------------------------------------------------
     def load(self, source, alias: str | None = None,
@@ -132,16 +163,14 @@ class ModelRegistry:
         """
         started = time.perf_counter()
         with obs_trace.span("registry.load", source=str(source)):
-            path = pathlib.Path(source)
-            if path.is_file():
-                state, meta = CheckpointManager(path.parent).load(path)
-            elif path.is_dir() and not (path / "manifest.json").is_file():
-                state, meta = self._load_dir(path)
-            else:
-                path = self._resolve_run(source, run_root)
-                state, meta = self._load_dir(path)
+            try:
+                state, meta, path = resolve_checkpoint_source(
+                    source, run_root=run_root)
+            except CheckpointError as error:
+                raise RegistryError(str(error)) from error
             loaded = self._build(state, meta, str(path))
-        self._pool[alias or str(source)] = loaded
+        with self._lock:
+            self._pool[alias or str(source)] = loaded
         registry = get_registry()
         registry.counter("serve_model_loads_total",
                          "Models pulled into the warm pool").inc()
@@ -153,27 +182,6 @@ class ModelRegistry:
                            text=f"serve: loaded {loaded.source} "
                                 f"fingerprint={loaded.fingerprint[:12]}")
         return loaded
-
-    def _load_dir(self, directory: pathlib.Path):
-        loaded = CheckpointManager(directory).load_latest()
-        if loaded is None:
-            raise RegistryError(f"no valid checkpoint under {directory}")
-        return loaded
-
-    def _resolve_run(self, identifier, run_root) -> pathlib.Path:
-        from ..telemetry.registry import find_run
-        try:
-            run = find_run(str(identifier), root=run_root)
-        except (FileNotFoundError, ValueError) as error:
-            raise RegistryError(
-                f"cannot resolve {identifier!r} as a checkpoint file, "
-                f"directory, or run id: {error}") from error
-        directory = pathlib.Path(run.directory) / "checkpoints"
-        if not directory.is_dir():
-            raise RegistryError(
-                f"run {identifier!r} has no checkpoints/ directory "
-                f"(was it trained with checkpointing enabled?)")
-        return directory
 
     def _build(self, state, meta: dict, source: str) -> LoadedModel:
         model_config = meta.get("model_config")

@@ -115,12 +115,22 @@ def diff_runs(a: Run, b: Run) -> dict:
             "config": config_diff, "metrics": metric_diff}
 
 
-def tail_events(run: Run, count: int = 20) -> list[dict]:
-    """Last ``count`` events of a loaded run (re-reads the file if empty)."""
+def tail_events(run: Run, count: int = 20,
+                types: tuple[str, ...] | None = None) -> list[dict]:
+    """Last ``count`` events of a loaded run (re-reads the file if empty).
+
+    ``types`` filters to the given event types *before* the tail is
+    taken — ``tail_events(run, 5, types=("swap", "swap_shadow"))`` gives
+    the last five swap-related events even when thousands of step events
+    follow them.
+    """
     events = run.events
     if not events and run.directory is not None:
         path = pathlib.Path(run.directory) / EVENTS_NAME
         if path.is_file():
             from .sinks import JsonlSink
             events = JsonlSink.read(path)
+    if types:
+        wanted = set(types)
+        events = [event for event in events if event.get("type") in wanted]
     return events[-count:]

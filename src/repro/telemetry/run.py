@@ -50,7 +50,8 @@ METRICS_NAME = "metrics.jsonl"
 
 EVENT_TYPES = ("run_start", "run_end", "span_start", "span_end",
                "step", "epoch", "message", "health", "metric",
-               "checkpoint", "recovery", "crash", "alert")
+               "checkpoint", "recovery", "crash", "alert",
+               "breaker", "swap", "swap_shadow")
 
 _STATUS = ("running", "completed", "failed", "crashed")
 

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import os
 import pathlib
+import random
 import time
+from dataclasses import dataclass
 
-__all__ = ["atomic_write_text", "atomic_write_bytes", "read_with_retry"]
+__all__ = ["atomic_write_text", "atomic_write_bytes", "read_with_retry",
+           "BackoffPolicy"]
 
 
 def atomic_write_text(path, text: str) -> pathlib.Path:
@@ -41,26 +44,87 @@ def _atomic_write(path, payload, binary: bool) -> pathlib.Path:
     return target
 
 
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with full jitter and a wall-clock budget.
+
+    One policy object describes a whole retry schedule: attempt ``k``
+    (0-based) waits ``initial * multiplier**k`` seconds, capped at
+    ``max_delay``, with up to ``jitter`` (a fraction of the delay)
+    subtracted uniformly at random — jitter spreads simultaneous
+    retriers (many data-loader workers hitting the same flaky mount,
+    circuit breakers probing the same dependency) so they do not
+    re-collide in lockstep.  ``max_total`` bounds the *cumulative* sleep
+    across the schedule: once the budget is spent, :meth:`delay` returns
+    ``None`` and the caller must give up, no matter how many attempts
+    its own counter would still allow.
+
+    The same policy drives :func:`read_with_retry` and the serving
+    circuit breaker's half-open probe schedule
+    (:class:`repro.serve.CircuitBreaker`), so "how we back off" is one
+    reviewed decision, not one per subsystem.
+    """
+
+    initial: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.0       # fraction of the delay, in [0, 1]
+    max_delay: float = 30.0
+    max_total: float | None = None
+
+    def __post_init__(self):
+        if self.initial < 0 or self.multiplier < 1:
+            raise ValueError("initial must be >= 0 and multiplier >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.max_total is not None and self.max_total < 0:
+            raise ValueError("max_total must be >= 0")
+
+    def delay(self, attempt: int, slept: float = 0.0,
+              rng: random.Random | None = None) -> float | None:
+        """Delay before retry ``attempt`` (0-based), or ``None`` when the
+        ``max_total`` wall-clock budget (``slept`` so far) is exhausted."""
+        base = min(self.initial * self.multiplier ** attempt, self.max_delay)
+        if self.jitter:
+            base -= base * self.jitter * (rng or random).random()
+        if self.max_total is not None:
+            remaining = self.max_total - slept
+            if remaining <= 0:
+                return None
+            base = min(base, remaining)
+        return base
+
+
 def read_with_retry(reader, path, attempts: int = 3, backoff: float = 0.05,
-                    retry_on: tuple[type[BaseException], ...] = (OSError,)):
+                    retry_on: tuple[type[BaseException], ...] = (OSError,),
+                    policy: BackoffPolicy | None = None,
+                    rng: random.Random | None = None):
     """Call ``reader(path)``, retrying transient failures with backoff.
 
     Network filesystems and containers occasionally surface spurious
     ``OSError``s on reads that succeed moments later; data loaders wrap
     their file opens in this helper so one transient hiccup doesn't kill
-    an hours-long run.  The wait doubles after each failed attempt
-    (``backoff``, ``2*backoff``, ...); the final failure re-raises the
+    an hours-long run.  Waits follow a :class:`BackoffPolicy` —
+    exponential doubling from ``backoff`` with 10% jitter and a total
+    wall-clock cap of 32x the base delay by default, so a persistently
+    failing path cannot stall a caller for minutes even with a large
+    ``attempts``.  Pass ``policy`` to override the schedule (and ``rng``
+    to pin the jitter in tests).  The final failure re-raises the
     original exception unchanged so callers keep their typed errors.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
-    delay = backoff
+    if policy is None:
+        policy = BackoffPolicy(initial=backoff, jitter=0.1,
+                               max_total=32 * backoff)
+    slept = 0.0
     for attempt in range(attempts):
         try:
             return reader(path)
         except retry_on:
-            if attempt == attempts - 1:
+            delay = (None if attempt == attempts - 1
+                     else policy.delay(attempt, slept=slept, rng=rng))
+            if delay is None:  # attempts or wall-clock budget exhausted
                 raise
             time.sleep(delay)
-            delay *= 2
+            slept += delay
     raise AssertionError("unreachable")  # pragma: no cover

@@ -228,3 +228,131 @@ class TestThreadedMode:
         engine.start()
         assert engine._worker is worker
         engine.stop()
+
+
+class TestCloseSemantics:
+    """close() resolves everything; the engine refuses work afterwards."""
+
+    def test_close_drains_queued_requests(self, loaded, windows):
+        engine = BatchingEngine(loaded)
+        requests = [engine.submit(windows[i:i + 2], "encode")
+                    for i in (0, 2, 4)]
+        engine.close(drain=True)
+        for request in requests:
+            assert request.result(1.0)[0].shape[0] > 0
+
+    def test_close_without_drain_fails_queued_typed(self, loaded, windows):
+        from repro.serve import EngineClosed
+        engine = BatchingEngine(loaded)
+        requests = [engine.submit(windows[i:i + 2], "encode")
+                    for i in (0, 2, 4)]
+        engine.close(drain=False)
+        for request in requests:
+            assert request.done()           # resolved, not hung
+            with pytest.raises(EngineClosed):
+                request.result(0.0)
+
+    def test_submit_after_close_raises_typed(self, loaded, windows):
+        from repro.serve import EngineClosed
+        engine = BatchingEngine(loaded)
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.submit(windows[:2], "encode")
+
+    def test_close_is_idempotent_and_start_refused(self, loaded):
+        from repro.serve import EngineClosed
+        engine = BatchingEngine(loaded)
+        engine.close()
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.start()
+
+    def test_threaded_close_joins_worker(self, loaded, windows):
+        import threading
+        engine = BatchingEngine(loaded).start()
+        engine.submit(windows[:2], "encode").result(10.0)
+        engine.close()
+        leaked = [t for t in threading.enumerate()
+                  if t.name == "serve-batcher"]
+        assert not leaked
+
+    def test_worker_crash_fails_only_that_batch(self, loaded, windows,
+                                                monkeypatch):
+        from repro.checkpoint.faults import SimulatedCrash
+        engine = BatchingEngine(
+            loaded, BatchingConfig(max_batch_size=2, max_wait_ms=0.2))
+        engine.start()
+        original = engine._process
+        tripped = []
+
+        def crash_once(batch):
+            if not tripped:
+                tripped.append(True)
+                raise SimulatedCrash("kill -9 mid-batch")
+            return original(batch)
+
+        monkeypatch.setattr(engine, "_process", crash_once)
+        try:
+            doomed = engine.submit(windows[:2], "encode")
+            with pytest.raises(SimulatedCrash):
+                doomed.result(10.0)
+            healthy = engine.submit(windows[2:4], "encode")
+            assert healthy.result(10.0)[0].shape[0] > 0  # engine survived
+        finally:
+            engine.close()
+
+
+class TestDeadlines:
+    """Deadline propagation: expired work never reaches a forward pass."""
+
+    def test_past_deadline_rejected_at_submit(self, loaded, windows):
+        from repro.serve import DeadlineExceeded
+        import time
+        engine = BatchingEngine(loaded)
+        with pytest.raises(DeadlineExceeded):
+            engine.submit(windows[:2], "encode",
+                          deadline_s=time.perf_counter() - 1.0)
+
+    def test_queued_request_expires_with_waited_ms(self, loaded, windows):
+        from repro.serve import DeadlineExceeded
+        import time
+        engine = BatchingEngine(loaded)
+        request = engine.submit(windows[:2], "encode",
+                                deadline_s=time.perf_counter() + 0.005)
+        fresh = engine.submit(windows[2:4], "encode")
+        time.sleep(0.02)
+        engine.flush()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            request.result(0.0)
+        assert excinfo.value.waited_ms >= 5.0
+        assert fresh.result(0.0)[0].shape[0] > 0   # unexpired one served
+
+    def test_on_done_fires_for_result_and_error(self, loaded, windows):
+        from repro.serve import DeadlineExceeded
+        import time
+        engine = BatchingEngine(loaded)
+        seen = []
+        ok = engine.submit(windows[:2], "encode",
+                           on_done=lambda r: seen.append(("ok", r._error)))
+        dead = engine.submit(
+            windows[2:4], "encode",
+            deadline_s=time.perf_counter() + 0.001,
+            on_done=lambda r: seen.append(("dead", r._error)))
+        time.sleep(0.01)
+        engine.flush()
+        assert ("ok", None) in seen
+        errors = dict(seen)
+        assert isinstance(errors["dead"], DeadlineExceeded)
+
+    def test_crashing_on_done_does_not_poison_the_batch(self, loaded,
+                                                        windows):
+        engine = BatchingEngine(loaded)
+
+        def bomb(request):
+            raise RuntimeError("observer bug")
+
+        victim = engine.submit(windows[:2], "encode", on_done=bomb)
+        neighbour = engine.submit(windows[2:4], "encode")
+        engine.flush()
+        assert victim.result(0.0)[0].shape[0] > 0
+        assert neighbour.result(0.0)[0].shape[0] > 0

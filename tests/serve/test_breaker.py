@@ -1,0 +1,177 @@
+"""Circuit breaker state machine under a pinned clock and rng.
+
+Every transition the gateway relies on is driven explicitly here:
+trip on failure ratio, refuse while open, half-open after the backoff,
+single probe slot, re-close on probe successes, re-open (with a longer
+delay) on probe failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve import BreakerConfig, CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.utils import BackoffPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(clock, jitter=0.0, **overrides):
+    defaults = dict(window=10, min_requests=4, failure_ratio=0.5,
+                    probe_successes=2,
+                    backoff=BackoffPolicy(initial=1.0, multiplier=2.0,
+                                          jitter=jitter, max_delay=30.0))
+    defaults.update(overrides)
+    transitions = []
+    breaker = CircuitBreaker(BreakerConfig(**defaults), clock=clock,
+                             rng=random.Random(0),
+                             on_transition=lambda old, new:
+                             transitions.append((old, new)))
+    return breaker, transitions
+
+
+class TestTripping:
+    def test_stays_closed_below_min_requests(self):
+        breaker, _ = make_breaker(FakeClock())
+        for _ in range(3):
+            breaker.record(False)     # 100% failures but < min_requests
+        assert breaker.state == CLOSED
+
+    def test_trips_at_failure_ratio(self):
+        breaker, transitions = make_breaker(FakeClock())
+        for ok in (True, True, False, False):   # 50% of 4 >= threshold
+            breaker.record(ok)
+        assert breaker.state == OPEN
+        assert transitions == [(CLOSED, OPEN)]
+
+    def test_rolling_window_forgets_old_failures(self):
+        breaker, _ = make_breaker(FakeClock())
+        breaker.record(False)
+        for _ in range(10):           # window=10: the failure rolls out
+            breaker.record(True)
+        for _ in range(4):            # 4 of the last 10 fail: under 50%
+            breaker.record(False)
+            breaker.record(True)
+        assert breaker.state == CLOSED
+
+    def test_successes_do_not_trip(self):
+        breaker, _ = make_breaker(FakeClock())
+        for _ in range(50):
+            breaker.record(True)
+        assert breaker.state == CLOSED
+
+
+class TestOpenAndProbing:
+    def trip(self, breaker):
+        for _ in range(4):
+            breaker.record(False)
+        assert breaker.state == OPEN
+
+    def test_open_refuses_until_backoff_elapses(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock)
+        self.trip(breaker)
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(1.0)
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.allow()        # backoff elapsed -> half-open probe
+        assert breaker.state == HALF_OPEN
+
+    def test_single_probe_slot_while_half_open(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock)
+        self.trip(breaker)
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert not breaker.allow()    # slot taken: no probe stampede
+        breaker.record(True)
+        assert breaker.allow()        # success frees the slot
+
+    def test_probe_successes_reclose(self):
+        clock = FakeClock()
+        breaker, transitions = make_breaker(clock)
+        self.trip(breaker)
+        clock.advance(1.1)
+        for _ in range(2):            # probe_successes=2
+            assert breaker.allow()
+            breaker.record(True)
+        assert breaker.state == CLOSED
+        assert transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                               (HALF_OPEN, CLOSED)]
+        # Re-closing cleared the window: old failures don't linger.
+        breaker.record(False)
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_with_longer_backoff(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock)
+        self.trip(breaker)
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record(False)         # probe failed
+        assert breaker.state == OPEN
+        # Second consecutive open: initial * multiplier**1 = 2s.
+        assert breaker.retry_after_s() == pytest.approx(2.0)
+
+    def test_jittered_probe_delay_stays_in_bounds(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock, jitter=0.2)
+        self.trip(breaker)
+        delay = breaker.retry_after_s()
+        assert 0.8 <= delay <= 1.0    # up to 20% subtracted, never added
+
+    def test_straggler_outcome_while_open_is_ignored(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock)
+        self.trip(breaker)
+        breaker.record(True)          # in-flight from before the trip
+        assert breaker.state == OPEN
+
+    def test_state_codes_for_the_gauge(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock)
+        assert breaker.state_code == 0
+        self.trip(breaker)
+        assert breaker.state_code == 2
+        clock.advance(1.1)
+        breaker.allow()
+        assert breaker.state_code == 1
+
+    def test_snapshot_reports_consecutive_opens(self):
+        clock = FakeClock()
+        breaker, _ = make_breaker(clock)
+        self.trip(breaker)
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record(False)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == OPEN
+        assert snapshot["consecutive_opens"] == 2
+        assert snapshot["retry_after_s"] > 0
+
+
+class TestObserverSafety:
+    def test_crashing_observer_does_not_break_the_breaker(self):
+        def bomb(old, new):
+            raise RuntimeError("observer bug")
+
+        breaker = CircuitBreaker(
+            BreakerConfig(window=4, min_requests=2, failure_ratio=0.5),
+            clock=FakeClock(), on_transition=bomb)
+        breaker.record(False)
+        breaker.record(False)         # transition fires the broken observer
+        assert breaker.state == OPEN  # breaker survived

@@ -203,3 +203,109 @@ class TestTimerAndSeed:
         rng2 = set_global_seed(42)
         np.testing.assert_array_equal(a, rng2.standard_normal(3))
         np.testing.assert_array_equal(legacy_a, np.random.standard_normal(3))
+
+
+class TestBackoffPolicy:
+    def _policy(self, **kw):
+        from repro.utils import BackoffPolicy
+        return BackoffPolicy(**kw)
+
+    def test_exponential_schedule_without_jitter(self):
+        policy = self._policy(initial=0.1, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(k) for k in range(4)] == [
+            pytest.approx(0.1), pytest.approx(0.2),
+            pytest.approx(0.4), pytest.approx(0.8)]
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = self._policy(initial=1.0, multiplier=10.0, jitter=0.0,
+                              max_delay=5.0)
+        assert policy.delay(3) == 5.0
+
+    def test_jitter_only_subtracts_and_stays_in_bounds(self):
+        import random
+        policy = self._policy(initial=1.0, multiplier=1.0, jitter=0.3)
+        rng = random.Random(0)
+        delays = [policy.delay(0, rng=rng) for _ in range(200)]
+        assert all(0.7 <= d <= 1.0 for d in delays)
+        assert len(set(delays)) > 1          # actually randomized
+
+    def test_wall_clock_budget_exhausts_to_none(self):
+        policy = self._policy(initial=1.0, multiplier=2.0, jitter=0.0,
+                              max_total=2.5)
+        slept = 0.0
+        schedule = []
+        for attempt in range(10):
+            delay = policy.delay(attempt, slept=slept)
+            if delay is None:
+                break
+            schedule.append(delay)
+            slept += delay
+        # 1.0 + 1.5 (clipped to the remaining budget) then give up.
+        assert schedule == [pytest.approx(1.0), pytest.approx(1.5)]
+        assert sum(schedule) <= 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._policy(jitter=1.5)
+        with pytest.raises(ValueError):
+            self._policy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            self._policy(max_total=-1.0)
+
+
+class TestReadWithRetry:
+    def test_transient_failures_then_success(self, monkeypatch):
+        from repro.utils.fileio import read_with_retry
+        sleeps = []
+        monkeypatch.setattr("repro.utils.fileio.time.sleep", sleeps.append)
+        calls = []
+
+        def flaky(path):
+            calls.append(path)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "payload"
+
+        assert read_with_retry(flaky, "p", attempts=5) == "payload"
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0] * 1.5   # exponential despite jitter
+
+    def test_attempts_exhausted_reraises_original(self, monkeypatch):
+        from repro.utils.fileio import read_with_retry
+        monkeypatch.setattr("repro.utils.fileio.time.sleep", lambda s: None)
+
+        def always(path):
+            raise OSError("still down")
+
+        with pytest.raises(OSError, match="still down"):
+            read_with_retry(always, "p", attempts=3)
+
+    def test_wall_clock_budget_stops_before_attempts(self, monkeypatch):
+        from repro.utils import BackoffPolicy
+        from repro.utils.fileio import read_with_retry
+        sleeps = []
+        monkeypatch.setattr("repro.utils.fileio.time.sleep", sleeps.append)
+        calls = []
+
+        def always(path):
+            calls.append(path)
+            raise OSError("down")
+
+        policy = BackoffPolicy(initial=1.0, multiplier=2.0, jitter=0.0,
+                               max_total=2.0)
+        with pytest.raises(OSError):
+            read_with_retry(always, "p", attempts=100, policy=policy)
+        # Budget of 2.0s: sleeps 1.0 then 1.0 (clipped), then gives up —
+        # nowhere near the 100 attempts the counter would allow.
+        assert sum(sleeps) <= 2.0
+        assert len(calls) <= 4
+
+    def test_non_retryable_error_escapes_immediately(self):
+        from repro.utils.fileio import read_with_retry
+
+        def typed(path):
+            raise KeyError("not an OSError")
+
+        with pytest.raises(KeyError):
+            read_with_retry(typed, "p", attempts=5)
