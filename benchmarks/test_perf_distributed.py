@@ -1,0 +1,168 @@
+"""Data-parallel pre-training benchmark: step scaling across world sizes.
+
+Times the same fixed-seed pre-training workload three ways — the plain
+in-process loop, ``pretrain_data_parallel`` at ``world_size=1`` (the
+process-supervision overhead floor) and at ``world_size=2`` — and emits
+``BENCH_distributed.json`` at the repo root with one row per
+configuration: wall clock, steps/s, windows/s, per-rank all-reduce time
+(from the ``dist_allreduce_seconds`` histogram) and the speedup against
+the in-process baseline.
+
+The speedup numbers are only meaningful with real parallel hardware, so
+the report records ``cpu_count`` and the ``>= 1.7x at world_size=2``
+acceptance gate is asserted **only when at least two cores are
+available**; on a single-core box the rows are still emitted (honest
+slowdown included) but the gate is skipped and noted in the payload.
+
+The workload is contrastive-free with dropout 0 (row-separable losses,
+see ``docs/training.md``) so the world_size=1 correctness cross-check
+against the in-process history is bit-exact.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import PretrainConfig, TimeDRLConfig
+from repro.core.pretrain import run_pretrain
+from repro.data.specs import synthetic_windows_spec
+from repro.distributed import DistributedConfig, pretrain_data_parallel
+from repro.obs import metrics as obs_metrics
+
+from conftest import run_once
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_distributed.json"
+
+WORKLOAD = {"windows": 384, "seq_len": 64, "channels": 7, "epochs": 2,
+            "batch_size": 32, "d_model": 64, "num_layers": 2}
+SPEEDUP_GATE = 1.7
+WORLD_SIZES = (1, 2)
+
+
+def _model_config() -> TimeDRLConfig:
+    return TimeDRLConfig(seq_len=WORKLOAD["seq_len"],
+                         input_channels=WORKLOAD["channels"],
+                         patch_len=8, stride=8,
+                         d_model=WORKLOAD["d_model"], num_heads=4,
+                         num_layers=WORKLOAD["num_layers"],
+                         dropout=0.0, enable_contrastive=False, seed=0)
+
+
+def _train_config() -> PretrainConfig:
+    return PretrainConfig(epochs=WORKLOAD["epochs"],
+                          batch_size=WORKLOAD["batch_size"], seed=0)
+
+
+def _data_spec() -> dict:
+    return synthetic_windows_spec(WORKLOAD["windows"], WORKLOAD["seq_len"],
+                                  WORKLOAD["channels"], seed=3)
+
+
+def _steps() -> int:
+    batches = -(-WORKLOAD["windows"] // WORKLOAD["batch_size"])
+    return batches * WORKLOAD["epochs"]
+
+
+def _allreduce_seconds(registry) -> dict:
+    """Per-rank all-reduce totals from the obs histogram, by rank label."""
+    snapshot = registry.snapshot().get("dist_allreduce_seconds")
+    if snapshot is None:
+        return {}
+    return {series["labels"]["rank"]: round(series["sum"], 4)
+            for series in snapshot["series"]}
+
+
+def _row(mode: str, world_size: int, elapsed: float, history,
+         allreduce: dict, baseline_s: float | None) -> dict:
+    row = {
+        "mode": mode,
+        "world_size": world_size,
+        "steps": _steps(),
+        "wall_clock_seconds": round(elapsed, 3),
+        "steps_per_second": round(_steps() / elapsed, 3),
+        "windows_per_second": round(
+            WORKLOAD["windows"] * WORKLOAD["epochs"] / elapsed, 1),
+        "final_total_loss": history[-1]["total"],
+        "allreduce_seconds_by_rank": allreduce,
+    }
+    if baseline_s is not None:
+        row["speedup_vs_in_process"] = round(baseline_s / elapsed, 3)
+    return row
+
+
+def _measure() -> dict:
+    registry = obs_metrics.enable()
+    try:
+        start = time.perf_counter()
+        in_process = run_pretrain(_model_config(), _data_spec(),
+                                  _train_config())
+        baseline_s = time.perf_counter() - start
+        rows = [_row("in_process", 1, baseline_s, in_process.history, {},
+                     None)]
+
+        for world_size in WORLD_SIZES:
+            registry.clear()
+            start = time.perf_counter()
+            result = pretrain_data_parallel(
+                _model_config(), _data_spec(),
+                train_config=_train_config(),
+                distributed=DistributedConfig(world_size=world_size))
+            elapsed = time.perf_counter() - start
+            rows.append(_row("data_parallel", world_size, elapsed,
+                             result.history, _allreduce_seconds(registry),
+                             baseline_s))
+            if world_size == 1:
+                # Correctness cross-check rides along with the timing:
+                # world_size=1 is the in-process loop plus supervision.
+                assert result.history == in_process.history
+        return {"rows": rows}
+    finally:
+        obs_metrics.disable()
+
+
+def test_perf_distributed(benchmark):
+    cpu_count = os.cpu_count() or 1
+    measured = run_once(benchmark, _measure)
+    rows = measured["rows"]
+
+    gate_enforced = cpu_count >= 2
+    world_two, = [r for r in rows
+                  if r["mode"] == "data_parallel" and r["world_size"] == 2]
+    report = {
+        "workload": dict(WORKLOAD),
+        "cpu_count": cpu_count,
+        "speedup_gate": {
+            "threshold": SPEEDUP_GATE,
+            "enforced": gate_enforced,
+            "note": (None if gate_enforced else
+                     "single-core host: data parallelism cannot speed up "
+                     "compute-bound training; rows record the honest "
+                     "supervision overhead instead"),
+        },
+        "rows": rows,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for row in rows:
+        line = (f"{row['mode']} world={row['world_size']}: "
+                f"{row['wall_clock_seconds']:.2f}s "
+                f"({row['steps_per_second']:.2f} steps/s)")
+        if "speedup_vs_in_process" in row:
+            line += f" speedup={row['speedup_vs_in_process']:.2f}x"
+        print(line)
+    print(f"wrote {OUTPUT_PATH} (cpu_count={cpu_count}, "
+          f"gate {'enforced' if gate_enforced else 'recorded only'})")
+
+    for row in rows:
+        assert np.isfinite(row["wall_clock_seconds"])
+        assert row["steps_per_second"] > 0
+    if gate_enforced:
+        assert world_two["speedup_vs_in_process"] >= SPEEDUP_GATE, (
+            f"world_size=2 speedup "
+            f"{world_two['speedup_vs_in_process']:.2f}x below the "
+            f"{SPEEDUP_GATE}x acceptance gate on a {cpu_count}-core host")

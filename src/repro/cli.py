@@ -6,6 +6,9 @@ Examples::
     python -m repro table5 --scale default --output results/
     python -m repro fig6 --scale smoke
     python -m repro profile --steps 20 --sort-by self_s
+    python -m repro pretrain --synthetic 2048 --epochs 2 --workers 2
+    python -m repro finetune --from results/ckpt --dataset ETTh1
+    python -m repro transfer --source ETTh1 --target ETTh2 --scale smoke
     python -m repro table3 --datasets ETTh1 --checkpoint results/ckpt --resume
     python -m repro serve --checkpoint results/ckpt/ETTh1 --repeats 2 --report report.json
     python -m repro data build --tier smallest --root results/data
@@ -158,7 +161,7 @@ def _run_profile(args) -> int:
     import numpy as np
 
     from .core.config import PretrainConfig, TimeDRLConfig
-    from .core.pretrain import pretrain
+    from .core.pretrain import run_pretrain
     from .nn import use_fused
     from .utils.training import format_profile
 
@@ -171,7 +174,7 @@ def _run_profile(args) -> int:
     samples = rng.standard_normal(
         (args.steps * args.batch_size, args.seq_len, args.channels)).astype(np.float32)
     with use_fused(not args.unfused):
-        result = pretrain(model_config, samples, train_config)
+        result = run_pretrain(model_config, samples, train_config)
     kernels = "reference (unfused)" if args.unfused else "fused"
     console_log(f"profiled {args.steps} pre-training steps "
                 f"(batch={args.batch_size}, T={args.seq_len}, C={args.channels}, "
@@ -181,6 +184,225 @@ def _run_profile(args) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(json.dumps(result.profile, indent=2) + "\n")
         console_log(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro pretrain|finetune|transfer`` — the unified training driver
+# ----------------------------------------------------------------------
+def _add_training_flags(parser, workers_help="data-parallel pre-training "
+                                             "workers (1 = in-process)"):
+    """The normalized training flag set.
+
+    Every training-capable subcommand (``pretrain``, ``finetune``,
+    ``transfer``) spells and defaults these identically — locked by
+    ``tests/train/test_cli_flags.py``.  ``serve`` shares the
+    ``--telemetry``/``--run-root`` pair."""
+    parser.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="checkpoint training state under DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest valid checkpoint "
+                             "under --checkpoint")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record the session as a telemetry run")
+    parser.add_argument("--run-root", type=pathlib.Path,
+                        default=_DEFAULT_RUN_ROOT,
+                        help="where --telemetry writes the run directory")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="stage batches through a background prefetch "
+                             "loader")
+    parser.add_argument("--workers", type=int, default=1, help=workers_help)
+
+
+def _training_options(args, **extra):
+    """:class:`repro.train.TrainOptions` from the normalized flags.
+
+    Absent flags map to ``None`` ("no opinion"), so facade defaults and
+    checkpoint metadata stay authoritative."""
+    from .train import TrainOptions
+
+    workers = getattr(args, "workers", 1)
+    return TrainOptions(
+        checkpoint=_checkpoint_from_args(args),
+        telemetry=True if args.telemetry else None,
+        prefetch=True if getattr(args, "prefetch", False) else None,
+        run_root=str(args.run_root) if args.telemetry else None,
+        distributed=workers if workers and workers > 1 else None,
+        **extra)
+
+
+def _pretrain_overrides(args) -> dict:
+    """PretrainConfig overrides from the optimisation flags (only the
+    flags actually given — driver defaults stay authoritative)."""
+    overrides = {"seed": args.seed}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.lr is not None:
+        overrides["learning_rate"] = args.lr
+    if getattr(args, "max_batches", None) is not None:
+        overrides["max_batches_per_epoch"] = args.max_batches
+    return overrides
+
+
+def _run_pretrain_cmd(args) -> int:
+    """``repro pretrain`` — self-supervised pre-training through
+    :class:`repro.train.TrainSession`, optionally data-parallel."""
+    import numpy as np
+
+    from .core.config import PretrainConfig, TimeDRLConfig
+    from .data import resolve_data_source, synthetic_windows_spec
+    from .train import TrainSession
+
+    if (args.data is None) == (not args.synthetic):
+        print("error: pass exactly one of --data or --synthetic N",
+              file=sys.stderr)
+        return 1
+    if args.data is not None:
+        if args.data.is_file():
+            payload = np.load(args.data)
+            data = (payload if isinstance(payload, np.ndarray)
+                    else payload[list(payload.keys())[0]])
+        else:
+            data = args.data  # store directory: opened by the driver
+        probe = resolve_data_source(data)
+        sample = (probe.batch(np.array([0])) if hasattr(probe, "batch")
+                  else np.asarray(probe)[:1])
+        __, seq_len, channels = sample.shape
+        if hasattr(probe, "close") and probe is not data:
+            probe.close()
+    else:
+        seq_len, channels = args.seq_len, args.channels
+        data = synthetic_windows_spec(windows=args.synthetic,
+                                      seq_len=seq_len, channels=channels,
+                                      seed=args.seed)
+    model_config = TimeDRLConfig(
+        seq_len=seq_len, input_channels=channels, patch_len=args.patch_len,
+        stride=args.patch_len, d_model=args.d_model,
+        num_layers=args.num_layers, num_heads=args.num_heads,
+        dropout=args.dropout, enable_contrastive=not args.no_contrastive,
+        channel_independence=args.channel_independence, seed=args.seed)
+    options = _training_options(args)
+    options.pretrain = PretrainConfig(**_pretrain_overrides(args))
+    result = TrainSession(model_config).pretrain(data, options=options)
+    console_log(f"pre-trained {len(result.history)} epoch(s) in "
+                f"{result.wall_clock_seconds:.2f}s "
+                f"(world_size={result.world_size}, "
+                f"restarts={result.worker_restarts}) "
+                f"final_total={result.final_loss:.6f}")
+    if result.run_id is not None:
+        console_log(f"recorded run {result.run_id}")
+    if args.history_json is not None:
+        args.history_json.parent.mkdir(parents=True, exist_ok=True)
+        args.history_json.write_text(json.dumps(
+            {"history": result.history,
+             "world_size": result.world_size,
+             "worker_restarts": result.worker_restarts,
+             "wall_clock_seconds": result.wall_clock_seconds},
+            indent=2) + "\n")
+        console_log(f"wrote {args.history_json}")
+    return 0
+
+
+def _run_finetune_cmd(args) -> int:
+    """``repro finetune`` — fine-tune a (pre-trained or fresh) model on a
+    named dataset through :class:`repro.train.TrainSession`."""
+    from .data import CLASSIFICATION_DATASETS, FORECASTING_DATASETS
+    from .experiments import get_scale
+    from .train import TrainSession
+
+    preset = get_scale(args.scale)
+    if args.dataset in FORECASTING_DATASETS:
+        from .experiments.forecasting import (
+            prepare_forecasting_data,
+            timedrl_config_for,
+        )
+
+        task = "forecasting"
+        prepared = prepare_forecasting_data(args.dataset, preset,
+                                            seed=args.seed)
+        horizon = min(prepared["horizons"])
+        data = prepared["horizons"][horizon]
+        config = timedrl_config_for(prepared["n_features"], preset,
+                                    seed=args.seed)
+    elif args.dataset in CLASSIFICATION_DATASETS:
+        from .experiments.classification import (
+            prepare_classification_data,
+            timedrl_classification_config,
+        )
+
+        task = "classification"
+        data = prepare_classification_data(args.dataset, preset,
+                                           seed=args.seed)
+        config = timedrl_classification_config(args.dataset, preset,
+                                               seed=args.seed)
+    else:
+        known = ", ".join((*FORECASTING_DATASETS, *CLASSIFICATION_DATASETS))
+        print(f"error: unknown dataset {args.dataset!r} (known: {known})",
+              file=sys.stderr)
+        return 1
+    if args.workers > 1:
+        console_log("note: fine-tuning is single-process; --workers applies "
+                    "to pre-training only")
+    options = _training_options(
+        args, label_fraction=args.label_fraction, epochs=args.epochs,
+        batch_size=args.batch_size, learning_rate=args.lr, seed=args.seed)
+    options.distributed = None
+    if args.source_checkpoint is not None:
+        session = TrainSession.from_checkpoint(args.source_checkpoint,
+                                               options=options)
+        loaded = session.model_config
+        if (task == "forecasting" and not loaded.channel_independence
+                and prepared["n_features"] > 1):
+            print(f"error: checkpoint {args.source_checkpoint} was "
+                  f"pre-trained without channel independence; its "
+                  f"channel-mixing head cannot forecast the "
+                  f"{prepared['n_features']}-variate {args.dataset} "
+                  f"(re-run `repro pretrain` with --channel-independence)",
+                  file=sys.stderr)
+            return 1
+    else:
+        session = TrainSession(config, options=options)
+    result = session.finetune(data, task=task)
+    if task == "forecasting":
+        console_log(f"finetune complete ({args.dataset}, horizon={horizon}): "
+                    f"mse={result.mse:.4f} mae={result.mae:.4f}")
+    else:
+        console_log(f"finetune complete ({args.dataset}): "
+                    f"accuracy={result.accuracy:.2f} "
+                    f"macro_f1={result.macro_f1:.2f}")
+    return 0
+
+
+def _run_transfer_cmd(args) -> int:
+    """``repro transfer`` — pre-train on one forecasting dataset, probe the
+    frozen encoder on another (:meth:`TrainSession.transfer`)."""
+    from .core.config import PretrainConfig
+    from .experiments import get_scale
+    from .experiments.forecasting import (
+        prepare_forecasting_data,
+        timedrl_config_for,
+    )
+    from .train import TrainSession
+
+    preset = get_scale(args.scale)
+    source = prepare_forecasting_data(args.source, preset, seed=args.seed)
+    target = prepare_forecasting_data(args.target, preset, seed=args.seed)
+    horizon = min(set(source["horizons"]) & set(target["horizons"]))
+    config = timedrl_config_for(source["n_features"], preset, seed=args.seed)
+    options = _training_options(args, alpha=args.alpha, seed=args.seed)
+    options.pretrain = PretrainConfig(**_pretrain_overrides(args))
+    session = TrainSession(config, options=options)
+    result = session.transfer(source["horizons"][horizon],
+                              target["horizons"][horizon])
+    console_log(f"transfer {args.source} -> {args.target} "
+                f"(horizon={horizon}): "
+                f"transfer_mse={result.transfer_mse:.4f} "
+                f"in_domain_mse={result.in_domain_mse:.4f} "
+                f"random_mse={result.random_mse:.4f} "
+                f"gap_retained={result.transfer_gap:.3f}")
     return 0
 
 
@@ -828,11 +1050,14 @@ def _runs_tail(args) -> int:
 
 def _runs_resume(args) -> int:
     """``repro runs resume`` — restart pre-training from a run's newest
-    valid checkpoint (corrupt ones are skipped with a warning)."""
+    valid checkpoint (corrupt ones are skipped with a warning).
+
+    The session is rebuilt through :class:`repro.train.TrainSession`; the
+    checkpoint's own metadata decides distributed topology and prefetch
+    (``--workers`` overrides the recorded world size)."""
     from .checkpoint import CheckpointManager
     from .core.config import PretrainConfig, TimeDRLConfig
-    from .core.pretrain import pretrain
-    from .data import materialize_data_spec
+    from .train import TrainOptions, TrainSession
 
     as_path = pathlib.Path(args.run_id)
     if as_path.is_dir() and any(as_path.glob("ckpt-*.npz")):
@@ -864,10 +1089,18 @@ def _runs_resume(args) -> int:
     ckpt_dict["directory"] = str(ckpt_dir)
     ckpt_dict["resume"] = True
     train_dict["checkpoint"] = ckpt_dict
-    result = pretrain(TimeDRLConfig(**model_cfg),
-                      materialize_data_spec(data_spec),
-                      PretrainConfig(**train_dict))
+    if getattr(args, "prefetch", False):
+        train_dict["prefetch"] = True
+    distributed = meta.get("distributed")
+    if getattr(args, "workers", None) is not None:
+        distributed = args.workers if args.workers > 1 else None
+    session = TrainSession(TimeDRLConfig(**model_cfg))
+    result = session.pretrain(
+        data_spec,  # spec dict: workers materialize only their shard
+        options=TrainOptions(pretrain=PretrainConfig(**train_dict),
+                             distributed=distributed))
     console_log(f"resume complete: epochs={len(result.history)} "
+                f"world_size={result.world_size} "
                 f"final_total={result.final_loss:.4f}")
     if result.run_id is not None:
         console_log(f"recorded as run {result.run_id}")
@@ -901,6 +1134,91 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--seed", type=int, default=0)
     prof.add_argument("--output", type=pathlib.Path, default=None,
                       help="write the raw op stats as JSON to this file")
+
+    pre = sub.add_parser(
+        "pretrain", help="self-supervised pre-training through the "
+                         "repro.train driver (data-parallel with --workers)")
+    pre.set_defaults(experiment="pretrain")
+    pre.add_argument("--data", type=pathlib.Path, default=None,
+                     help="window store directory (repro data build) or "
+                          ".npz/.npy of raw windows (N, T, C)")
+    pre.add_argument("--synthetic", type=int, default=0, metavar="N",
+                     help="pre-train on N synthetic windows instead of "
+                          "--data (each worker generates only its shard)")
+    pre.add_argument("--seq-len", type=int, default=64,
+                     help="synthetic window length (ignored with --data)")
+    pre.add_argument("--channels", type=int, default=7,
+                     help="synthetic channel count (ignored with --data)")
+    pre.add_argument("--patch-len", type=int, default=8)
+    pre.add_argument("--d-model", type=int, default=64)
+    pre.add_argument("--num-layers", type=int, default=2)
+    pre.add_argument("--num-heads", type=int, default=4)
+    pre.add_argument("--dropout", type=float, default=0.1)
+    pre.add_argument("--channel-independence", action="store_true",
+                     help="encode each channel independently (required to "
+                          "later fine-tune the checkpoint on multivariate "
+                          "forecasting)")
+    pre.add_argument("--no-contrastive", action="store_true",
+                     help="disable the contrastive task; its BatchNorm "
+                          "predictor gives data-parallel replicas per-shard "
+                          "batch statistics (see docs/training.md)")
+    pre.add_argument("--epochs", type=int, default=None,
+                     help="training epochs (default: the driver default)")
+    pre.add_argument("--batch-size", type=int, default=None)
+    pre.add_argument("--lr", type=float, default=None)
+    pre.add_argument("--max-batches", type=int, default=None,
+                     help="cap batches per epoch (CI/smoke runs)")
+    pre.add_argument("--seed", type=int, default=0)
+    pre.add_argument("--history-json", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="write the per-epoch loss history and worker "
+                          "stats as JSON")
+    _add_training_flags(pre)
+
+    fine = sub.add_parser(
+        "finetune", help="fine-tune a pre-trained (or fresh) model on a "
+                         "named dataset through the repro.train driver")
+    fine.set_defaults(experiment="finetune")
+    fine.add_argument("--from", dest="source_checkpoint", default=None,
+                      metavar="CKPT",
+                      help="pre-trained checkpoint to start from (file, "
+                           "directory, or run id); omitted = random "
+                           "initialisation (supervised baseline)")
+    fine.add_argument("--dataset", required=True,
+                      help="forecasting or classification dataset name")
+    fine.add_argument("--scale", choices=("smoke", "default", "full"),
+                      default=None,
+                      help="scale preset (default: env or 'default')")
+    fine.add_argument("--label-fraction", type=float, default=1.0)
+    fine.add_argument("--epochs", type=int, default=None,
+                      help="training epochs (default: the task default)")
+    fine.add_argument("--batch-size", type=int, default=None)
+    fine.add_argument("--lr", type=float, default=None)
+    fine.add_argument("--seed", type=int, default=0)
+    _add_training_flags(fine, workers_help="accepted for flag parity; "
+                                           "fine-tuning runs single-process "
+                                           "(workers apply to pre-training)")
+
+    trans = sub.add_parser(
+        "transfer", help="pre-train on one forecasting dataset, probe the "
+                         "frozen encoder on another")
+    trans.set_defaults(experiment="transfer")
+    trans.add_argument("--source", required=True,
+                       help="forecasting dataset to pre-train on")
+    trans.add_argument("--target", required=True,
+                       help="forecasting dataset to probe on")
+    trans.add_argument("--scale", choices=("smoke", "default", "full"),
+                       default=None,
+                       help="scale preset (default: env or 'default')")
+    trans.add_argument("--epochs", type=int, default=None,
+                       help="pre-training epochs (default: the driver "
+                            "default)")
+    trans.add_argument("--batch-size", type=int, default=None)
+    trans.add_argument("--lr", type=float, default=None)
+    trans.add_argument("--alpha", type=float, default=1.0,
+                       help="ridge strength of the frozen linear probe")
+    trans.add_argument("--seed", type=int, default=0)
+    _add_training_flags(trans)
 
     serve = sub.add_parser(
         "serve", help="serve embeddings/predictions from a checkpoint "
@@ -1095,6 +1413,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "checkpoint (or from a checkpoint directory)")
     runs_resume.add_argument("run_id", help="run id, unique prefix, run "
                                             "directory, or checkpoint directory")
+    runs_resume.add_argument("--workers", type=int, default=None,
+                             help="override the recorded data-parallel "
+                                  "world size (default: honor the "
+                                  "checkpoint's own metadata)")
+    runs_resume.add_argument("--prefetch", action="store_true",
+                             help="force prefetch on for the resumed "
+                                  "session (default: honor the checkpoint)")
     for runs_cmd in (runs_list, runs_show, runs_diff, runs_tail, runs_resume):
         runs_cmd.add_argument("--root", type=pathlib.Path,
                               default=_DEFAULT_RUN_ROOT,
@@ -1147,6 +1472,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "profile":
         return _run_profile(args)
+    if args.experiment == "pretrain":
+        return _run_pretrain_cmd(args)
+    if args.experiment == "finetune":
+        return _run_finetune_cmd(args)
+    if args.experiment == "transfer":
+        return _run_transfer_cmd(args)
     if args.experiment == "serve":
         if args.obs_export is not None:
             args.obs = True

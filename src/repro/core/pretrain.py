@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import pathlib
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,7 +55,8 @@ from ..utils.training import Timer, format_profile
 from .config import PretrainConfig, TimeDRLConfig
 from .model import TimeDRL
 
-__all__ = ["PretrainResult", "pretrain", "iterate_pretrain_batches"]
+__all__ = ["PretrainResult", "run_pretrain", "pretrain",
+           "iterate_pretrain_batches"]
 
 
 @dataclass
@@ -69,6 +71,8 @@ class PretrainResult:
     run_dir: str | None = None  # telemetry run directory (when enabled)
     checkpoint_dir: str | None = None    # where checkpoints were written
     resumed_from_step: int | None = None  # global step a resume started at
+    world_size: int = 1        # data-parallel workers (1 = in-process loop)
+    worker_restarts: int = 0   # elastic restarts taken during the run
 
     @property
     def final_loss(self) -> float:
@@ -398,11 +402,36 @@ class _PretrainLoop:
 
 
 def _resolve_checkpoint_dir(ckpt_cfg, train_config, run) -> pathlib.Path:
+    """Pick the checkpoint directory.  Precedence, highest first:
+
+    1. an explicit ``CheckpointConfig.directory`` — ALWAYS wins, even
+       when a caller-owned telemetry ``run`` is also present (the run
+       directory is NOT used in that case; callers splitting checkpoints
+       from the run spine, e.g. transfer's per-phase subdirectories,
+       rely on this);
+    2. the telemetry run's own directory → ``<run_dir>/checkpoints`` —
+       keeps a run's artifacts in one place;
+    3. the configured ``train_config.run_root`` → ``<run_root>/checkpoints``
+       (no telemetry, no explicit directory).
+
+    The choice is recorded as a ``checkpoint`` telemetry event
+    (``action="dir_resolved"``) so a surprising precedence outcome is
+    visible in ``repro runs tail`` instead of silent.
+    """
     if ckpt_cfg.directory:
-        return pathlib.Path(ckpt_cfg.directory)
-    if getattr(run, "directory", None):
-        return pathlib.Path(run.directory) / "checkpoints"
-    return pathlib.Path(train_config.run_root) / "checkpoints"
+        chosen, source = pathlib.Path(ckpt_cfg.directory), "explicit_directory"
+    elif getattr(run, "directory", None):
+        chosen = pathlib.Path(run.directory) / "checkpoints"
+        source = "run_directory"
+    else:
+        chosen = pathlib.Path(train_config.run_root) / "checkpoints"
+        source = "run_root"
+    if getattr(run, "enabled", False):
+        run.emit("checkpoint", action="dir_resolved", source=source,
+                 directory=str(chosen),
+                 run_directory_ignored=bool(
+                     ckpt_cfg.directory and getattr(run, "directory", None)))
+    return chosen
 
 
 def _checkpoint_extra_meta(model_config, train_config, ckpt_cfg, data) -> dict:
@@ -421,9 +450,9 @@ def _checkpoint_extra_meta(model_config, train_config, ckpt_cfg, data) -> dict:
             "data_spec": data_spec}
 
 
-def pretrain(model_config: TimeDRLConfig, data,
-             train_config: PretrainConfig | None = None,
-             run=None, hooks=None) -> PretrainResult:
+def run_pretrain(model_config: TimeDRLConfig, data,
+                 train_config: PretrainConfig | None = None,
+                 run=None, hooks=None, distributed=None) -> PretrainResult:
     """Pre-train a :class:`TimeDRL` model on unlabeled data.
 
     Parameters
@@ -431,11 +460,13 @@ def pretrain(model_config: TimeDRLConfig, data,
     data:
         A :class:`ForecastingWindows` (forecasting), an ndarray of samples
         ``(N, T, C)`` (classification), an out-of-core
-        :class:`~repro.data.store.ShardedDataset`, or a path to a store
+        :class:`~repro.data.store.ShardedDataset`, a path to a store
         directory built by ``repro data build`` (opened and memory-mapped
-        here).  Labels are never consumed.  With
-        ``train_config.prefetch=True`` batches are staged through a
-        background :class:`~repro.data.prefetch.PrefetchLoader`.
+        here), or a ``repro.data.specs`` spec dict (materialized here —
+        or shard-by-shard inside the workers when distributed).  Labels
+        are never consumed.  With ``train_config.prefetch=True`` batches
+        are staged through a background
+        :class:`~repro.data.prefetch.PrefetchLoader`.
     run:
         Optional :class:`repro.telemetry.Run` to report into (the caller
         keeps ownership).  When omitted, ``train_config.telemetry=True``
@@ -443,12 +474,30 @@ def pretrain(model_config: TimeDRLConfig, data,
     hooks:
         Optional :class:`repro.checkpoint.TrainingHooks` — fault-injection
         points for the test harness.  Production code leaves this ``None``.
+    distributed:
+        ``None`` (single process), an int world size, a dict, or a
+        :class:`repro.distributed.DistributedConfig`.  A world size above
+        1 routes through :func:`repro.distributed.pretrain_data_parallel`;
+        1 stays on this in-process loop (bit-identical by construction).
 
     Returns
     -------
     PretrainResult with the trained model and per-epoch loss history.
     """
     train_config = train_config or PretrainConfig()
+    if distributed is not None:
+        from ..distributed import pretrain_data_parallel, resolve_distributed
+
+        dist = resolve_distributed(distributed)
+        if dist is not None and dist.world_size > 1:
+            return pretrain_data_parallel(model_config, data,
+                                          train_config=train_config,
+                                          distributed=dist, run=run,
+                                          hooks=hooks)
+    if isinstance(data, dict) and "kind" in data:
+        from ..data.specs import materialize_data_spec
+
+        data = materialize_data_spec(data)
     data = resolve_data_source(data)
     owns_run = False
     if run is None:
@@ -551,3 +600,24 @@ def pretrain(model_config: TimeDRLConfig, data,
                           checkpoint_dir=(str(checkpoint_dir)
                                           if checkpoint_dir is not None else None),
                           resumed_from_step=resumed_from_step)
+
+
+def pretrain(model_config: TimeDRLConfig, data,
+             train_config: PretrainConfig | None = None,
+             run=None, hooks=None) -> PretrainResult:
+    """Deprecated alias for the ``repro.train`` facade.
+
+    Delegates to :meth:`repro.train.TrainSession.pretrain` with an
+    options object wrapping the same arguments — bit-identical results
+    (locked by ``tests/train/test_session.py``).  Use the facade, or
+    :func:`run_pretrain` for the bare loop.
+    """
+    warnings.warn(
+        "repro.core.pretrain() is deprecated; use "
+        "repro.train.TrainSession.pretrain() (or repro.train.pretrain)",
+        DeprecationWarning, stacklevel=2)
+    from ..train import TrainOptions, TrainSession
+
+    session = TrainSession(model_config)
+    return session.pretrain(data, TrainOptions(pretrain=train_config,
+                                               run=run, hooks=hooks))

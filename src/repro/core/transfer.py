@@ -20,9 +20,9 @@ from ..telemetry import NULL_RUN
 from .config import PretrainConfig, RuntimeOptions, TimeDRLConfig
 from .finetune import timedrl_forecast_features
 from .model import TimeDRL
-from .pretrain import _resolve_checkpoint_dir, pretrain
+from .pretrain import _resolve_checkpoint_dir, run_pretrain
 
-__all__ = ["TransferResult", "transfer_forecasting"]
+__all__ = ["TransferResult", "run_transfer", "transfer_forecasting"]
 
 
 @dataclass
@@ -43,18 +43,21 @@ class TransferResult:
         return float((self.random_mse - self.transfer_mse) / spread)
 
 
-def transfer_forecasting(source: ForecastingData, target: ForecastingData,
-                         config: TimeDRLConfig,
-                         train_config: PretrainConfig | None = None,
-                         alpha: float = 1.0, run=None,
-                         runtime: RuntimeOptions | None = None) -> TransferResult:
+def run_transfer(source: ForecastingData, target: ForecastingData,
+                 config: TimeDRLConfig,
+                 train_config: PretrainConfig | None = None,
+                 alpha: float = 1.0, run=None,
+                 runtime: RuntimeOptions | None = None,
+                 distributed=None) -> TransferResult:
     """Pre-train on ``source``, evaluate the frozen encoder on ``target``.
 
     ``config`` must use ``channel_independence=True`` so the encoder is
     agnostic to the feature counts of the two datasets.  An optional
     telemetry ``run`` traces the three phases (source pre-train, target
     pre-train, random baseline) as spans and records the resulting MSEs.
-    A ``runtime`` bundle overrides the runtime fields of ``train_config``.
+    A ``runtime`` bundle overrides the runtime fields of ``train_config``;
+    ``distributed`` (world size / dict / ``DistributedConfig``) applies to
+    both pre-training phases.
     """
     if not config.channel_independence:
         raise ValueError("transfer requires channel_independence=True "
@@ -79,14 +82,16 @@ def transfer_forecasting(source: ForecastingData, target: ForecastingData,
         return dataclasses.replace(train_config, checkpoint=phase_ckpt)
 
     with run.span("transfer_source_pretrain"):
-        source_model = pretrain(config, source.train, phase_config("source"),
-                                run=run).model
+        source_model = run_pretrain(config, source.train,
+                                    phase_config("source"), run=run,
+                                    distributed=distributed).model
     transfer_mse = ridge_probe_forecasting(
         timedrl_forecast_features(source_model), target, alpha).mse
 
     with run.span("transfer_target_pretrain"):
-        target_model = pretrain(config, target.train, phase_config("target"),
-                                run=run).model
+        target_model = run_pretrain(config, target.train,
+                                    phase_config("target"), run=run,
+                                    distributed=distributed).model
     in_domain_mse = ridge_probe_forecasting(
         timedrl_forecast_features(target_model), target, alpha).mse
 
@@ -104,3 +109,26 @@ def transfer_forecasting(source: ForecastingData, target: ForecastingData,
                     random_mse=result.random_mse,
                     transfer_gap=result.transfer_gap)
     return result
+
+
+def transfer_forecasting(source: ForecastingData, target: ForecastingData,
+                         config: TimeDRLConfig,
+                         train_config: PretrainConfig | None = None,
+                         alpha: float = 1.0, run=None,
+                         runtime: RuntimeOptions | None = None
+                         ) -> TransferResult:
+    """Deprecated alias for the ``repro.train`` facade; bit-identical to
+    :meth:`repro.train.TrainSession.transfer` (locked by
+    ``tests/train/test_session.py``)."""
+    import warnings
+
+    warnings.warn(
+        "repro.core.transfer_forecasting() is deprecated; use "
+        "repro.train.TrainSession.transfer() (or "
+        "repro.train.transfer_forecasting)",
+        DeprecationWarning, stacklevel=2)
+    from ..train import TrainOptions, TrainSession
+
+    options = TrainOptions(pretrain=train_config, runtime=runtime,
+                           alpha=alpha, run=run)
+    return TrainSession(config).transfer(source, target, options=options)

@@ -38,6 +38,7 @@ __all__ = [
     "synthetic_windows_spec",
     "store_spec",
     "materialize_data_spec",
+    "materialize_spec_rows",
     "iter_spec_windows",
     "spec_total_windows",
 ]
@@ -195,6 +196,34 @@ def iter_spec_windows(spec: dict, chunk_rows: int = GENERATION_BLOCK):
             yield out[0] if len(out) == 1 else np.concatenate(out)
     if have:
         yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+
+
+def materialize_spec_rows(spec: dict, start: int, stop: int) -> np.ndarray:
+    """Materialize rows ``[start, stop)`` of a ``synthetic_windows`` spec
+    without generating the rest of the corpus.
+
+    Because window block ``j`` is a pure function of ``(seed, j)``, only
+    the canonical blocks overlapping the range are generated; the result
+    is bit-identical to ``materialize_data_spec(spec)[start:stop]``.
+    This is what lets a data-parallel worker own a shard of a 10M-window
+    spec while touching only its own slice of the generation space.
+    """
+    if spec.get("kind") != "synthetic_windows":
+        raise ValueError("materialize_spec_rows requires a synthetic_windows "
+                         f"spec, got kind {spec.get('kind')!r}")
+    total = int(spec["windows"])
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"rows [{start}, {stop}) out of range for "
+                         f"{total} windows")
+    if start == stop:
+        return np.empty((0, spec["seq_len"], spec["channels"]),
+                        dtype=np.float32)
+    first = start // GENERATION_BLOCK
+    last = (stop - 1) // GENERATION_BLOCK
+    blocks = [_synthetic_block(spec, j) for j in range(first, last + 1)]
+    window = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    offset = first * GENERATION_BLOCK
+    return window[start - offset: stop - offset]
 
 
 def materialize_data_spec(spec: dict):

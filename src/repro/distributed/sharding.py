@@ -1,0 +1,76 @@
+"""Deterministic shard assignment for data-parallel workers.
+
+Every worker draws the *same* global batch permutation from the same
+loader RNG (lockstep with the single-process loop), then keeps only the
+indices falling inside its own contiguous shard ``[start, stop)``.  The
+union of the per-rank selections is exactly the global batch, so any
+world size trains on the identical global window stream — that is what
+makes world_size=1 trivially bit-identical and larger worlds equivalent
+up to floating-point reassociation of the batch mean.
+
+Shard *materialization* leans on the chunk-invariance of
+:mod:`repro.data.specs`: synthetic specs generate only the canonical
+blocks overlapping the shard (see
+:func:`repro.data.specs.materialize_spec_rows`), stores memory-map only
+the pages a worker's rows touch, and in-memory arrays are sliced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Shard", "shard_bounds", "shard_assignment", "local_indices"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous slice of the global window index space."""
+
+    rank: int
+    world_size: int
+    start: int
+    stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+def shard_bounds(total: int, world_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` bounds partitioning ``range(total)``.
+
+    The remainder spreads over the first ranks, so shard sizes differ by
+    at most one row and the assignment is a pure function of
+    ``(total, world_size)`` — any incarnation of the group (including an
+    elastic restart) computes the identical partition.
+    """
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    base, extra = divmod(total, world_size)
+    bounds = []
+    lo = 0
+    for rank in range(world_size):
+        hi = lo + base + (1 if rank < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def shard_assignment(total: int, world_size: int) -> list[Shard]:
+    """The full deterministic rank → shard assignment."""
+    return [Shard(rank=rank, world_size=world_size, start=lo, stop=hi)
+            for rank, (lo, hi) in enumerate(shard_bounds(total, world_size))]
+
+
+def local_indices(indices: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """The subset of a global batch owned by shard ``[start, stop)``.
+
+    Order within the batch is preserved, so concatenating every rank's
+    selection in rank order is a permutation-free reassembly of the
+    global batch's shard-grouped view.
+    """
+    return indices[(indices >= start) & (indices < stop)]

@@ -20,7 +20,7 @@ from ..core import (
     PretrainConfig,
     linear_evaluate_classification,
     linear_evaluate_forecasting,
-    pretrain,
+    run_pretrain,
 )
 from .classification import prepare_classification_data, timedrl_classification_config
 from .forecasting import prepare_forecasting_data, timedrl_config_for
@@ -53,7 +53,7 @@ def _forecast_mse(dataset: str, preset: ScalePreset, seed: int,
     horizon, data = next(iter(prepared["horizons"].items()))
     config = timedrl_config_for(prepared["n_features"], preset, seed=seed,
                                 **config_overrides)
-    outcome = pretrain(config, data.train, PretrainConfig(
+    outcome = run_pretrain(config, data.train, PretrainConfig(
         epochs=preset.ablation_pretrain_epochs, batch_size=preset.batch_size,
         max_batches_per_epoch=preset.max_batches, seed=seed))
     return linear_evaluate_forecasting(outcome.model, data).mse
@@ -64,7 +64,7 @@ def _classification_acc(dataset: str, preset: ScalePreset, seed: int,
     data = prepare_classification_data(dataset, preset, seed)
     config = timedrl_classification_config(dataset, preset, seed=seed,
                                            **config_overrides)
-    outcome = pretrain(config, data.x_train, PretrainConfig(
+    outcome = run_pretrain(config, data.x_train, PretrainConfig(
         epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
         max_batches_per_epoch=preset.max_batches, seed=seed))
     return linear_evaluate_classification(outcome.model, data,

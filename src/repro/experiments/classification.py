@@ -17,7 +17,7 @@ from ..core import (
     RuntimeOptions,
     TimeDRLConfig,
     linear_evaluate_classification,
-    pretrain,
+    run_pretrain,
     resolve_runtime,
 )
 from ..data import (
@@ -96,7 +96,7 @@ def run_classification_method(method: str, dataset: str, data: ClassificationDat
             checkpoint = dataclasses.replace(
                 checkpoint, directory=str(pathlib.Path(base) / dataset),
                 data_spec=classification_spec(dataset, scale=scale, seed=seed))
-        outcome = pretrain(config, data.x_train, PretrainConfig(
+        outcome = run_pretrain(config, data.x_train, PretrainConfig(
             epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
             max_batches_per_epoch=preset.max_batches, seed=seed,
             checkpoint=checkpoint))

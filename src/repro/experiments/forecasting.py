@@ -31,7 +31,7 @@ from ..core import (
     RuntimeOptions,
     TimeDRLConfig,
     linear_evaluate_forecasting,
-    pretrain,
+    run_pretrain,
     resolve_runtime,
 )
 from ..data import (
@@ -132,7 +132,7 @@ def run_forecasting_method(method: str, prepared: dict, preset: ScalePreset,
         spec = prepared.get("spec")
         data_spec = (forecasting_spec(pred_len=first_horizon, **spec)
                      if spec is not None else None)
-        outcome = pretrain(config, first_data.train, PretrainConfig(
+        outcome = run_pretrain(config, first_data.train, PretrainConfig(
             epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
             max_batches_per_epoch=preset.max_batches, seed=seed,
             checkpoint=_dataset_checkpoint(

@@ -17,9 +17,9 @@ from __future__ import annotations
 from ..core import (
     PretrainConfig,
     TimeDRL,
-    fine_tune_classification,
-    fine_tune_forecasting,
-    pretrain,
+    run_finetune_classification,
+    run_finetune_forecasting,
+    run_pretrain,
 )
 from ..telemetry import NULL_RUN
 from .classification import prepare_classification_data, timedrl_classification_config
@@ -45,7 +45,7 @@ def semi_supervised_forecasting(datasets: tuple[str, ...] = ("ETTh1",),
         config = timedrl_config_for(prepared["n_features"], preset, seed=seed)
 
         with run.span("pretrain", dataset=dataset):
-            pretrained = pretrain(config, data.train, PretrainConfig(
+            pretrained = run_pretrain(config, data.train, PretrainConfig(
                 epochs=preset.pretrain_epochs, batch_size=preset.batch_size,
                 max_batches_per_epoch=preset.max_batches, seed=seed),
                 run=run).model
@@ -54,14 +54,14 @@ def semi_supervised_forecasting(datasets: tuple[str, ...] = ("ETTh1",),
             row = f"{dataset} @ {fraction:.0%}"
             with run.span("label_fraction", dataset=dataset, fraction=fraction):
                 supervised_model = TimeDRL(config)  # random init, no pre-training
-                supervised = fine_tune_forecasting(
+                supervised = run_finetune_forecasting(
                     supervised_model, data, label_fraction=fraction,
                     epochs=preset.finetune_epochs, batch_size=preset.batch_size,
                     seed=seed)
                 table.add(row, "Supervised", supervised.mse)
 
                 finetuned_model = _clone(pretrained, config)
-                finetuned = fine_tune_forecasting(
+                finetuned = run_finetune_forecasting(
                     finetuned_model, data, label_fraction=fraction,
                     epochs=preset.finetune_epochs, batch_size=preset.batch_size,
                     seed=seed)
@@ -85,7 +85,7 @@ def semi_supervised_classification(datasets: tuple[str, ...] = ("Epilepsy",),
         config = timedrl_classification_config(dataset, preset, seed=seed)
 
         with run.span("pretrain", dataset=dataset):
-            pretrained = pretrain(config, data.x_train, PretrainConfig(
+            pretrained = run_pretrain(config, data.x_train, PretrainConfig(
                 epochs=preset.classify_pretrain_epochs, batch_size=preset.batch_size,
                 max_batches_per_epoch=preset.max_batches, seed=seed),
                 run=run).model
@@ -94,14 +94,14 @@ def semi_supervised_classification(datasets: tuple[str, ...] = ("Epilepsy",),
             row = f"{dataset} @ {fraction:.0%}"
             with run.span("label_fraction", dataset=dataset, fraction=fraction):
                 supervised_model = TimeDRL(config)
-                supervised = fine_tune_classification(
+                supervised = run_finetune_classification(
                     supervised_model, data, label_fraction=fraction,
                     epochs=preset.finetune_epochs, batch_size=preset.batch_size,
                     seed=seed)
                 table.add(row, "Supervised", supervised.accuracy)
 
                 finetuned_model = _clone(pretrained, config)
-                finetuned = fine_tune_classification(
+                finetuned = run_finetune_classification(
                     finetuned_model, data, label_fraction=fraction,
                     epochs=preset.finetune_epochs, batch_size=preset.batch_size,
                     seed=seed)

@@ -11,7 +11,7 @@ effect — the ablation DESIGN.md calls out.
 from __future__ import annotations
 
 from ..baselines import FitConfig, SimTS, TS2Vec
-from ..core import PretrainConfig, pretrain
+from ..core import PretrainConfig, run_pretrain
 from .forecasting import prepare_forecasting_data, timedrl_config_for
 from .scale import ScalePreset, get_scale
 from .tables import ResultTable
@@ -43,11 +43,11 @@ def training_time_table(datasets: tuple[str, ...] = ("ETTh1", "Exchange"),
         for method in methods:
             if method == "TimeDRL":
                 config = timedrl_config_for(n_features, preset, seed=seed)
-                seconds = pretrain(config, data.train, pretrain_config).wall_clock_seconds
+                seconds = run_pretrain(config, data.train, pretrain_config).wall_clock_seconds
             elif method == "TimeDRL (no patching)":
                 config = timedrl_config_for(n_features, preset, seed=seed,
                                             patch_len=1, stride=1)
-                seconds = pretrain(config, data.train, pretrain_config).wall_clock_seconds
+                seconds = run_pretrain(config, data.train, pretrain_config).wall_clock_seconds
             elif method == "SimTS":
                 model = SimTS(in_channels=n_features, d_model=preset.d_model,
                               seed=seed).fit(data.train, fit_config)

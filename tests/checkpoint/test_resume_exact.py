@@ -17,8 +17,10 @@ from repro.checkpoint import (
     CheckpointManager,
     CrashAt,
     SimulatedCrash,
+    TrainingAborted,
 )
 from repro.core import pretrain
+from repro.core.pretrain import run_pretrain
 from repro.telemetry import Run
 from tests.checkpoint.common import (
     assert_model_states_equal,
@@ -100,6 +102,64 @@ class TestCheckpointingIsFree:
         assert plain.history == checkpointed.history
         assert_model_states_equal(plain.model.state_dict(),
                                   checkpointed.model.state_dict())
+
+
+class TestDistributedKillAndResume:
+    """The same guarantee through the ``repro.distributed`` entry point.
+
+    With ``elastic=False`` a dead worker is not replaced: the coordinator
+    surfaces :class:`TrainingAborted` exactly like an in-process crash,
+    and a follow-up run with ``resume=True`` must land bit-identical to
+    an uninterrupted **single-process** run — and vice versa across
+    topologies (crash distributed, resume in-process).
+    """
+
+    def _checkpoint(self, tmp_path, label, **overrides):
+        params = dict(directory=str(tmp_path / label), every_n_batches=1)
+        params.update(overrides)
+        return CheckpointConfig(**params)
+
+    def test_world_one_crash_resumes_bit_identical(self, tmp_path):
+        from repro.distributed import DistributedConfig, pretrain_data_parallel
+
+        baseline = _run_to_completion(tmp_path, "baseline",
+                                      every_n_batches=1)
+        ckpt = self._checkpoint(tmp_path, "killed")
+        with pytest.raises(TrainingAborted):
+            pretrain_data_parallel(
+                tiny_model_config(), tiny_data(),
+                train_config=tiny_train_config(checkpoint=ckpt),
+                distributed=DistributedConfig(world_size=1, elastic=False),
+                hooks=CrashAt(7))
+        resumed = pretrain_data_parallel(
+            tiny_model_config(), tiny_data(),
+            train_config=tiny_train_config(
+                checkpoint=dataclasses.replace(ckpt, resume=True)),
+            distributed=DistributedConfig(world_size=1, elastic=False))
+        assert resumed.resumed_from_step == 8
+        self._assert_identical(baseline, resumed, tmp_path)
+
+    def test_cross_topology_crash_distributed_resume_in_process(self, tmp_path):
+        from repro.distributed import DistributedConfig, pretrain_data_parallel
+
+        baseline = _run_to_completion(tmp_path, "baseline",
+                                      every_n_batches=1)
+        ckpt = self._checkpoint(tmp_path, "killed")
+        with pytest.raises(TrainingAborted):
+            pretrain_data_parallel(
+                tiny_model_config(), tiny_data(),
+                train_config=tiny_train_config(checkpoint=ckpt),
+                distributed=DistributedConfig(world_size=1, elastic=False),
+                hooks=CrashAt(7))
+        resumed = run_pretrain(
+            tiny_model_config(), tiny_data(),
+            tiny_train_config(
+                checkpoint=dataclasses.replace(ckpt, resume=True)))
+        assert resumed.resumed_from_step == 8
+        self._assert_identical(baseline, resumed, tmp_path)
+
+    # _assert_identical from TestKillAndResume, re-used verbatim.
+    _assert_identical = TestKillAndResume._assert_identical
 
 
 class TestCrashTelemetry:

@@ -1,0 +1,43 @@
+"""Shared guard for the distributed suite: no leaked workers.
+
+Every test must leave zero ``repro-dp-*`` worker processes and zero
+prefetch threads behind — mirroring the thread-leak guard of
+``tests/data/test_prefetch.py`` at the process level.  Workers are
+daemons, so a leak here would otherwise only surface as flaky
+cross-test interference (stolen barriers, reused queues).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.data.prefetch import THREAD_NAME
+
+_WORKER_PREFIX = "repro-dp-"
+
+
+def _leaked():
+    processes = [p for p in multiprocessing.active_children()
+                 if p.name.startswith(_WORKER_PREFIX)]
+    threads = [t for t in threading.enumerate() if t.name == THREAD_NAME]
+    return processes + threads
+
+
+def _assert_no_leaks():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not _leaked():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked distributed workers/threads: {_leaked()}")
+
+
+@pytest.fixture(autouse=True)
+def no_worker_leaks():
+    _assert_no_leaks()
+    yield
+    _assert_no_leaks()

@@ -1,0 +1,136 @@
+"""The shared-memory all-reduce: exactness and lockstep semantics.
+
+World size 1 must be a bit-exact pass-through (that is what makes the
+single-worker distributed path identical to the in-process loop); larger
+worlds must compute the fixed-rank-order float64 weighted mean on every
+replica.  Multi-rank cases run the reducer from threads — RawArray and
+Barrier synchronise threads exactly as they do forked processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed import SharedAllReduce, flatten_grads, scatter_grads
+
+
+class _Param:
+    def __init__(self, data, grad=None):
+        self.data = data
+        self.grad = grad
+
+
+def _ctx():
+    return multiprocessing.get_context("fork")
+
+
+class TestWorldOfOne:
+    def test_grads_and_losses_pass_through_verbatim(self):
+        reducer = SharedAllReduce(_ctx(), world_size=1, n_params=5)
+        grads = np.array([0.1, -2.5, 3.3, 1e-30, 7.0], dtype=np.float64)
+        losses = (2.5, 1.5, 1.0)
+        reduced, loss_means = reducer.all_reduce(0, grads, weight=8.0,
+                                                 losses=losses)
+        # Bit-exact: no multiply/divide round trip on the only contributor.
+        assert np.array_equal(reduced, grads)
+        assert loss_means == {"total": 2.5, "predictive": 1.5,
+                              "contrastive": 1.0}
+
+    def test_float32_round_trip_is_exact(self):
+        rng = np.random.default_rng(0)
+        params = [_Param(rng.normal(size=(3, 4)).astype(np.float32)),
+                  _Param(rng.normal(size=(7,)).astype(np.float32))]
+        for param in params:
+            param.grad = rng.normal(size=param.data.shape).astype(np.float32)
+        originals = [param.grad.copy() for param in params]
+        n = sum(p.data.size for p in params)
+        reducer = SharedAllReduce(_ctx(), world_size=1, n_params=n)
+        reduced, __ = reducer.all_reduce(0, flatten_grads(params, n),
+                                         weight=4.0, losses=(1.0, 1.0, 0.0))
+        scatter_grads(params, reduced)
+        for param, original in zip(params, originals):
+            assert param.grad.dtype == np.float32
+            assert np.array_equal(param.grad, original)
+
+    def test_flatten_checks_length(self):
+        params = [_Param(np.zeros((2, 2), dtype=np.float32))]
+        with pytest.raises(ValueError):
+            flatten_grads(params, 3)
+
+    def test_none_grad_flattens_to_zero(self):
+        params = [_Param(np.zeros(3, dtype=np.float32), grad=None)]
+        assert np.array_equal(flatten_grads(params, 3), np.zeros(3))
+
+
+class TestMultiRank:
+    def _reduce_all(self, reducer, payloads):
+        """Run one all_reduce per rank concurrently (threads stand in for
+        forked workers); returns each rank's (reduced, losses)."""
+        results = [None] * len(payloads)
+
+        def work(rank, grads, weight, losses):
+            results[rank] = reducer.all_reduce(rank, grads, weight, losses)
+
+        threads = [threading.Thread(target=work, args=(rank, *payload))
+                   for rank, payload in enumerate(payloads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+        return results
+
+    def test_weighted_mean_exact_in_rank_order(self):
+        reducer = SharedAllReduce(_ctx(), world_size=2, n_params=3)
+        g0 = np.array([1.0, 2.0, 3.0])
+        g1 = np.array([5.0, -1.0, 0.5])
+        results = self._reduce_all(reducer, [
+            (g0, 3.0, (0.3, 0.2, 0.1)),
+            (g1, 1.0, (0.7, 0.4, 0.3)),
+        ])
+        expected = (g0 * 3.0 + g1 * 1.0) / 4.0
+        for reduced, losses in results:
+            assert np.array_equal(reduced, expected)
+            assert losses["total"] == (0.3 * 3.0 + 0.7 * 1.0) / 4.0
+
+    def test_every_replica_sees_identical_bits(self):
+        rng = np.random.default_rng(1)
+        reducer = SharedAllReduce(_ctx(), world_size=3, n_params=64)
+        payloads = [(rng.normal(size=64), float(w), (1.0, 0.5, 0.5))
+                    for w in (5, 4, 4)]
+        results = self._reduce_all(reducer, payloads)
+        reference = results[0][0]
+        for reduced, __ in results[1:]:
+            assert np.array_equal(reduced, reference)
+
+    def test_single_contributor_among_many_is_verbatim(self):
+        # A tail batch that fell entirely inside rank 0's shard: the other
+        # rank contributes weight 0 and the reduced value is rank 0's row
+        # bit-for-bit (no multiply/divide round trip).
+        reducer = SharedAllReduce(_ctx(), world_size=2, n_params=4)
+        g0 = np.array([0.1, 0.2, 0.3, 0.4])
+        results = self._reduce_all(reducer, [
+            (g0, 7.0, (1.25, 1.0, 0.25)),
+            (None, 0.0, (0.0, 0.0, 0.0)),
+        ])
+        for reduced, losses in results:
+            assert np.array_equal(reduced, g0)
+            assert losses == {"total": 1.25, "predictive": 1.0,
+                              "contrastive": 0.25}
+
+    def test_reusable_across_steps(self):
+        reducer = SharedAllReduce(_ctx(), world_size=2, n_params=2)
+        for step in range(3):
+            g = np.array([float(step), 1.0])
+            results = self._reduce_all(reducer, [
+                (g, 1.0, (1.0, 1.0, 0.0)),
+                (g + 1.0, 1.0, (2.0, 2.0, 0.0)),
+            ])
+            expected = (g + (g + 1.0)) / 2.0
+            for reduced, losses in results:
+                assert np.array_equal(reduced, expected)
+                assert losses["total"] == 1.5

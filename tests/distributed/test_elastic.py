@@ -1,0 +1,117 @@
+"""Elastic fault tolerance: dead workers are replaced, training replays.
+
+A worker killed mid-run (``CrashAt`` raising inside the child process)
+must be detected by the coordinator, the group restarted from the last
+checkpoint, and the final trajectory must be **bit-identical** to an
+undisturbed run — the distributed extension of
+``tests/checkpoint/test_resume_exact.py``.  A crash loop must exhaust
+``max_restarts`` and surface as :class:`TrainingAborted`; with
+``elastic=False`` the first death aborts immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    CrashAt,
+    SimulatedCrash,
+    TrainingAborted,
+    TrainingHooks,
+)
+from repro.core import PretrainConfig, TimeDRLConfig
+from repro.distributed import DistributedConfig, pretrain_data_parallel
+from repro.obs import metrics as obs_metrics
+
+
+def _model_config() -> TimeDRLConfig:
+    return TimeDRLConfig(seq_len=16, patch_len=4, stride=4, d_model=8,
+                         num_heads=2, num_layers=1, input_channels=2, seed=0)
+
+
+def _data(n: int = 40, seed: int = 1) -> np.ndarray:
+    return np.random.default_rng(seed).normal(
+        size=(n, 16, 2)).astype(np.float32)
+
+
+def _train_config(tmp_path, label) -> PretrainConfig:
+    return PretrainConfig(epochs=2, batch_size=8, seed=0,
+                          checkpoint=CheckpointConfig(
+                              directory=str(tmp_path / label),
+                              every_n_batches=1))
+
+
+def _assert_bit_identical(a, b) -> None:
+    assert a.history == b.history
+    state_a, state_b = a.model.state_dict(), b.model.state_dict()
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), name
+
+
+class _AlwaysCrash(TrainingHooks):
+    """Crash on every first batch — an unrecoverable worker."""
+
+    def on_batch_end(self, epoch: int, batch: int, step: int) -> None:
+        raise SimulatedCrash("crash loop")
+
+
+class TestElasticReplay:
+    def test_worker_death_replays_from_checkpoint(self, tmp_path):
+        baseline = pretrain_data_parallel(
+            _model_config(), _data(),
+            train_config=_train_config(tmp_path, "baseline"),
+            distributed=DistributedConfig(world_size=1))
+        disturbed = pretrain_data_parallel(
+            _model_config(), _data(),
+            train_config=_train_config(tmp_path, "disturbed"),
+            distributed=DistributedConfig(world_size=1, max_restarts=2),
+            hooks=CrashAt(4))
+        assert disturbed.worker_restarts == 1
+        _assert_bit_identical(baseline, disturbed)
+
+    def test_world_two_rank_death_replays(self, tmp_path):
+        config = _model_config()
+        baseline = pretrain_data_parallel(
+            config, _data(), train_config=_train_config(tmp_path, "base2"),
+            distributed=DistributedConfig(world_size=2))
+        disturbed = pretrain_data_parallel(
+            config, _data(), train_config=_train_config(tmp_path, "dist2"),
+            distributed=DistributedConfig(world_size=2, max_restarts=2,
+                                          heartbeat_timeout_s=60.0),
+            hooks={1: CrashAt(4)})
+        assert disturbed.worker_restarts == 1
+        _assert_bit_identical(baseline, disturbed)
+
+    def test_restart_counter_lands_in_obs_registry(self, tmp_path):
+        registry = obs_metrics.enable()
+        registry.clear()
+        try:
+            pretrain_data_parallel(
+                _model_config(), _data(),
+                train_config=_train_config(tmp_path, "obs"),
+                distributed=DistributedConfig(world_size=1, max_restarts=2),
+                hooks=CrashAt(4))
+            assert registry.get("dist_worker_restarts").value == 1
+            assert registry.get("dist_world_size").value == 1
+        finally:
+            obs_metrics.disable()
+
+
+class TestRestartBudget:
+    def test_crash_loop_exhausts_budget(self, tmp_path):
+        with pytest.raises(TrainingAborted, match="restart budget"):
+            pretrain_data_parallel(
+                _model_config(), _data(),
+                train_config=_train_config(tmp_path, "loop"),
+                distributed=DistributedConfig(world_size=1, max_restarts=1),
+                hooks=_AlwaysCrash())
+
+    def test_elastic_off_aborts_on_first_death(self, tmp_path):
+        with pytest.raises(TrainingAborted):
+            pretrain_data_parallel(
+                _model_config(), _data(),
+                train_config=_train_config(tmp_path, "rigid"),
+                distributed=DistributedConfig(world_size=1, elastic=False),
+                hooks=CrashAt(4))

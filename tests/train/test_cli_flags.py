@@ -1,0 +1,103 @@
+"""CLI flag normalization across the training-capable subcommands.
+
+``repro pretrain|finetune|transfer`` must spell and default the shared
+training flags identically (``--checkpoint --resume --telemetry
+--run-root --prefetch --workers``); ``serve`` shares the
+``--telemetry``/``--run-root`` pair.  Plus an end-to-end smoke of the
+``pretrain`` subcommand, including ``--workers 2`` and
+``--history-json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TRAINING_COMMANDS = ("pretrain", "finetune", "transfer")
+SHARED_FLAGS = ("--checkpoint", "--resume", "--telemetry", "--run-root",
+                "--prefetch", "--workers")
+
+
+def _subparsers() -> dict:
+    parser = build_parser()
+    action, = [a for a in parser._actions
+               if hasattr(a, "choices") and a.choices]
+    return dict(action.choices)
+
+
+def _flag_signature(subparser, flag: str) -> tuple:
+    action = subparser._option_string_actions[flag]
+    return (action.type, action.default, action.nargs, action.const,
+            type(action).__name__)
+
+
+class TestFlagParity:
+    def test_training_commands_share_the_flag_set(self):
+        commands = _subparsers()
+        for flag in SHARED_FLAGS:
+            signatures = {name: _flag_signature(commands[name], flag)
+                          for name in TRAINING_COMMANDS}
+            distinct = set(signatures.values())
+            assert len(distinct) == 1, (
+                f"{flag} is spelled/defaulted differently across "
+                f"{signatures}")
+
+    def test_serve_shares_telemetry_and_run_root(self):
+        commands = _subparsers()
+        for flag in ("--telemetry", "--run-root"):
+            assert _flag_signature(commands["serve"], flag) == \
+                _flag_signature(commands["pretrain"], flag)
+
+    def test_workers_defaults_to_single_process(self):
+        commands = _subparsers()
+        for name in TRAINING_COMMANDS:
+            action = commands[name]._option_string_actions["--workers"]
+            assert action.default == 1
+            assert action.type is int
+
+    def test_runs_resume_honors_meta_by_default(self):
+        commands = _subparsers()
+        resume_sub, = [a for a in commands["runs"]._actions
+                       if hasattr(a, "choices") and a.choices]
+        resume = dict(resume_sub.choices)["resume"]
+        assert resume._option_string_actions["--workers"].default is None
+
+
+class TestPretrainCommand:
+    def test_requires_exactly_one_data_source(self, capsys):
+        assert main(["pretrain"]) == 1
+        assert "exactly one of --data or --synthetic" in \
+            capsys.readouterr().err
+
+    def test_synthetic_smoke_with_history_json(self, tmp_path):
+        history = tmp_path / "h.json"
+        code = main(["pretrain", "--synthetic", "32", "--seq-len", "16",
+                     "--channels", "2", "--patch-len", "4", "--d-model", "8",
+                     "--num-heads", "2", "--num-layers", "1",
+                     "--epochs", "1", "--batch-size", "16",
+                     "--history-json", str(history)])
+        assert code == 0
+        payload = json.loads(history.read_text())
+        assert payload["world_size"] == 1
+        assert len(payload["history"]) == 1
+
+    def test_two_worker_smoke_matches_single_process(self, tmp_path):
+        # The CI smoke in miniature: a contrastive-free (row-separable)
+        # config pre-trained with --workers 2 must match the single
+        # process loss history within reassociation tolerance.
+        base = ["pretrain", "--synthetic", "48", "--seq-len", "16",
+                "--channels", "2", "--patch-len", "4", "--d-model", "8",
+                "--num-heads", "2", "--num-layers", "1", "--epochs", "2",
+                "--batch-size", "8", "--dropout", "0.0", "--no-contrastive"]
+        single, double = tmp_path / "w1.json", tmp_path / "w2.json"
+        assert main([*base, "--history-json", str(single)]) == 0
+        assert main([*base, "--workers", "2",
+                     "--history-json", str(double)]) == 0
+        h1 = json.loads(single.read_text())
+        h2 = json.loads(double.read_text())
+        assert h2["world_size"] == 2
+        for a, b in zip(h1["history"], h2["history"]):
+            assert a["total"] == pytest.approx(b["total"], rel=1e-5)

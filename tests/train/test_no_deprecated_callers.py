@@ -1,0 +1,72 @@
+"""No internal caller may use the deprecated training entry points.
+
+The free functions ``pretrain`` / ``fine_tune_forecasting`` /
+``fine_tune_classification`` / ``transfer_forecasting`` survive only as
+:class:`DeprecationWarning` shims for external users.  Everything under
+``src/repro`` must go through :class:`repro.train.TrainSession` (or the
+non-deprecated ``run_*`` internals).  This test walks the package AST
+and fails if a module imports one of the deprecated names from
+``repro.core``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import repro
+
+DEPRECATED = {
+    "pretrain",
+    "fine_tune_forecasting",
+    "fine_tune_classification",
+    "transfer_forecasting",
+}
+
+# The modules that define or re-export the shims themselves.
+ALLOWED = {
+    "core/__init__.py",
+    "core/pretrain.py",
+    "core/finetune.py",
+    "core/transfer.py",
+}
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+
+def _deprecated_imports(tree: ast.Module) -> list[str]:
+    hits = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        module = node.module or ""
+        # Relative imports inside repro resolve to repro.* too; any
+        # "core"-ish source of a deprecated name counts.
+        if "core" not in module and node.level == 0:
+            continue
+        for alias in node.names:
+            if alias.name in DEPRECATED:
+                hits.append(f"from {'.' * node.level}{module} "
+                            f"import {alias.name}")
+    return hits
+
+
+def test_src_tree_does_not_import_deprecated_names():
+    offenders = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        rel = path.relative_to(SRC_ROOT).as_posix()
+        if rel in ALLOWED:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        hits = _deprecated_imports(tree)
+        if hits:
+            offenders[rel] = hits
+    assert not offenders, (
+        "deprecated training entry points are still imported internally; "
+        f"migrate these to repro.train.TrainSession: {offenders}")
+
+
+def test_guard_actually_detects_offenders():
+    tree = ast.parse("from repro.core import pretrain\n"
+                     "from ..core.finetune import fine_tune_forecasting\n")
+    assert len(_deprecated_imports(tree)) == 2

@@ -1,0 +1,248 @@
+"""The ``repro.train`` facade and its deprecation shims.
+
+The API-redesign contract: every deprecated free function
+(``repro.core.pretrain``, ``fine_tune_forecasting``,
+``fine_tune_classification``, ``transfer_forecasting``) warns
+``DeprecationWarning`` and produces **bit-identical** results to the
+:class:`TrainSession` facade it delegates to.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointConfig
+from repro.core import (
+    PretrainConfig,
+    RuntimeOptions,
+    TimeDRL,
+    TimeDRLConfig,
+    fine_tune_classification,
+    fine_tune_forecasting,
+    pretrain,
+    transfer_forecasting,
+)
+from repro.data import make_classification_data, make_forecasting_data
+from repro.telemetry import Run
+from repro.train import TrainOptions, TrainSession
+
+
+def _model_config(**overrides) -> TimeDRLConfig:
+    params = dict(seq_len=32, input_channels=2, patch_len=8, stride=8,
+                  d_model=16, num_heads=2, num_layers=1,
+                  channel_independence=True, seed=0)
+    params.update(overrides)
+    return TimeDRLConfig(**params)
+
+
+def _samples(n: int = 40, seed: int = 1) -> np.ndarray:
+    return np.random.default_rng(seed).normal(
+        size=(n, 32, 2)).astype(np.float32)
+
+
+def _forecast_data(period: int = 24, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(420)
+    series = np.stack([
+        np.sin(2 * np.pi * t / period + k) + 0.1 * rng.standard_normal(420)
+        for k in range(2)
+    ], axis=1).astype(np.float32)
+    return make_forecasting_data(series, seq_len=32, pred_len=8, stride=4)
+
+
+def _class_data(seed: int = 0):
+    from repro.data import load_classification_dataset
+
+    x, y = load_classification_dataset("PenDigits", scale=0.015, seed=seed)
+    return make_classification_data(x, y, seed=seed)
+
+
+def _assert_models_equal(a: TimeDRL, b: TimeDRL) -> None:
+    state_a, state_b = a.state_dict(), b.state_dict()
+    assert set(state_a) == set(state_b)
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), name
+
+
+class TestPretrainShim:
+    def test_warns_and_is_bit_identical(self):
+        data = _samples()
+        config = PretrainConfig(epochs=2, batch_size=8, seed=0)
+        facade = TrainSession(_model_config()).pretrain(
+            data, options=TrainOptions(pretrain=config))
+        with pytest.warns(DeprecationWarning, match="repro.train"):
+            legacy = pretrain(_model_config(), data, config)
+        assert legacy.history == facade.history
+        _assert_models_equal(legacy.model, facade.model)
+
+    def test_module_level_convenience_function(self):
+        from repro.train import pretrain as train_pretrain
+
+        data = _samples()
+        config = PretrainConfig(epochs=1, batch_size=8, seed=0)
+        a = train_pretrain(_model_config(), data,
+                           TrainOptions(pretrain=config))
+        b = TrainSession(_model_config()).pretrain(
+            data, options=TrainOptions(pretrain=config))
+        assert a.history == b.history
+
+
+class TestFinetuneShims:
+    def test_forecasting_warns_and_is_bit_identical(self):
+        data = _forecast_data()
+        with pytest.warns(DeprecationWarning, match="TrainSession"):
+            legacy = fine_tune_forecasting(
+                TimeDRL(_model_config()), data, epochs=1, batch_size=16,
+                seed=0)
+        session = TrainSession(_model_config(),
+                               model=TimeDRL(_model_config()))
+        facade = session.finetune(
+            data, task="forecasting",
+            options=TrainOptions(epochs=1, batch_size=16, seed=0))
+        assert legacy.mse == facade.mse
+        assert legacy.mae == facade.mae
+
+    def test_classification_warns_and_is_bit_identical(self):
+        data = _class_data()
+        config = _model_config(channel_independence=False)
+        with pytest.warns(DeprecationWarning, match="TrainSession"):
+            legacy = fine_tune_classification(
+                TimeDRL(config), data, epochs=1, batch_size=16, seed=0)
+        facade = TrainSession(config, model=TimeDRL(config)).finetune(
+            data, task="classification",
+            options=TrainOptions(epochs=1, batch_size=16, seed=0))
+        assert legacy.accuracy == facade.accuracy
+        assert legacy.macro_f1 == facade.macro_f1
+        assert legacy.kappa == facade.kappa
+
+    def test_runtime_kwarg_stays_authoritative(self, tmp_path):
+        # Legacy rule: an explicit ``runtime=`` bundle wins over the
+        # ``profile``/``checkpoint`` kwargs.  The shim must preserve it.
+        data = _forecast_data()
+        runtime = RuntimeOptions(profile=False)
+        with pytest.warns(DeprecationWarning):
+            result = fine_tune_forecasting(
+                TimeDRL(_model_config()), data, epochs=1, seed=0,
+                profile=True, runtime=runtime)
+        assert result.profile is None  # runtime said no profiling
+
+
+class TestTransferShim:
+    def test_warns_and_is_bit_identical(self):
+        source, target = _forecast_data(24, 0), _forecast_data(30, 1)
+        config = _model_config()
+        train_config = PretrainConfig(epochs=1, batch_size=16, seed=0)
+        with pytest.warns(DeprecationWarning, match="TrainSession"):
+            legacy = transfer_forecasting(source, target, config,
+                                          train_config=train_config)
+        facade = TrainSession(config).transfer(
+            source, target, options=TrainOptions(pretrain=train_config))
+        assert legacy.transfer_mse == facade.transfer_mse
+        assert legacy.in_domain_mse == facade.in_domain_mse
+        assert legacy.random_mse == facade.random_mse
+
+
+class TestTrainOptions:
+    def test_no_overrides_returns_the_base_config_object(self):
+        config = PretrainConfig(epochs=3)
+        options = TrainOptions(pretrain=config)
+        assert options.resolved_pretrain_config() is config
+
+    def test_individual_fields_override_runtime(self):
+        options = TrainOptions(
+            pretrain=PretrainConfig(),
+            runtime=RuntimeOptions(telemetry=False, verbose=True),
+            telemetry=True)
+        resolved = options.resolved_pretrain_config()
+        assert resolved.telemetry is True     # individual field wins
+        assert resolved.verbose is True       # runtime still applies
+
+    def test_checkpoint_coercion(self):
+        resolved = TrainOptions(pretrain=PretrainConfig(),
+                                checkpoint=True).resolved_pretrain_config()
+        assert isinstance(resolved.checkpoint, CheckpointConfig)
+        resolved = TrainOptions(
+            pretrain=PretrainConfig(),
+            checkpoint={"directory": "x"}).resolved_pretrain_config()
+        assert resolved.checkpoint.directory == "x"
+
+    def test_resolved_runtime_none_when_nothing_configured(self):
+        assert TrainOptions().resolved_runtime() is None
+
+    def test_resolved_runtime_from_individual_fields(self):
+        runtime = TrainOptions(telemetry=True,
+                               run_root="r").resolved_runtime()
+        assert runtime.telemetry is True
+        assert runtime.run_root == "r"
+
+
+class TestSessionLifecycle:
+    def test_pretrain_then_finetune_reuses_the_model(self):
+        session = TrainSession(_model_config())
+        session.pretrain(_samples(), options=TrainOptions(
+            pretrain=PretrainConfig(epochs=1, batch_size=8, seed=0)))
+        pretrained_model = session.model
+        assert pretrained_model is not None
+        session.finetune(_forecast_data(), options=TrainOptions(epochs=1))
+        assert session.model is pretrained_model
+
+    def test_finetune_without_pretrain_uses_fresh_model(self):
+        session = TrainSession(_model_config())
+        result = session.finetune(_forecast_data(),
+                                  options=TrainOptions(epochs=1))
+        assert session.model is not None
+        assert result.mse > 0
+
+    def test_task_inference(self):
+        session = TrainSession(_model_config(channel_independence=False))
+        result = session.finetune(_class_data(),
+                                  options=TrainOptions(epochs=1))
+        assert hasattr(result, "accuracy")
+        with pytest.raises(ValueError, match="cannot infer"):
+            session.finetune(np.zeros((4, 32, 2)))
+
+    def test_from_checkpoint_rebuilds_the_model(self, tmp_path):
+        result = TrainSession(_model_config()).pretrain(
+            _samples(), options=TrainOptions(
+                pretrain=PretrainConfig(epochs=1, batch_size=8, seed=0),
+                checkpoint={"directory": str(tmp_path / "ck")}))
+        session = TrainSession.from_checkpoint(tmp_path / "ck")
+        assert session.model_config == _model_config()
+        _assert_models_equal(session.model, result.model)
+
+
+class TestCheckpointDirPrecedence:
+    def _events(self, run_dir):
+        return Run.load(run_dir).events
+
+    def test_explicit_directory_wins_and_is_recorded(self, tmp_path):
+        TrainSession(_model_config()).pretrain(
+            _samples(), options=TrainOptions(
+                pretrain=PretrainConfig(epochs=1, batch_size=8, seed=0,
+                                        telemetry=True,
+                                        run_root=str(tmp_path / "runs")),
+                checkpoint={"directory": str(tmp_path / "explicit")}))
+        run_dir, = glob.glob(str(tmp_path / "runs" / "*"))
+        events = [e for e in self._events(run_dir)
+                  if e["type"] == "checkpoint"
+                  and e["action"] == "dir_resolved"]
+        assert events and events[0]["source"] == "explicit_directory"
+        assert events[0]["run_directory_ignored"] is True
+        assert events[0]["directory"] == str(tmp_path / "explicit")
+
+    def test_run_directory_used_when_no_explicit_dir(self, tmp_path):
+        TrainSession(_model_config()).pretrain(
+            _samples(), options=TrainOptions(
+                pretrain=PretrainConfig(epochs=1, batch_size=8, seed=0,
+                                        telemetry=True,
+                                        run_root=str(tmp_path / "runs")),
+                checkpoint=True))
+        run_dir, = glob.glob(str(tmp_path / "runs" / "*"))
+        events = [e for e in self._events(run_dir)
+                  if e["type"] == "checkpoint"
+                  and e["action"] == "dir_resolved"]
+        assert events and events[0]["source"] == "run_directory"
+        assert events[0]["directory"].startswith(run_dir)
