@@ -15,7 +15,12 @@ sets over the same workload:
   isolating the micro-batching/queueing overhead;
 * ``warm``     — the same workload replayed against the populated cache
   (every request hits), which is the dashboards-re-scoring-recent-history
-  regime the cache exists for.
+  regime the cache exists for;
+* ``warm_nocache`` — the replay with the cache disabled entirely
+  (``cache_size=0``): warm-model throughput with zero cache hits, which
+  separates what the cache buys from what kernel warm-up buys and is the
+  honest baseline for the compiled-artifact rows in
+  ``benchmarks/test_perf_compile.py``.
 
 Each set records throughput (windows/s) and per-request p50/p95 latency
 from the engine's own histograms — the numbers the latency report and
@@ -97,11 +102,34 @@ def _measure_suite(checkpoint_dir: pathlib.Path) -> dict:
     warm = timed_pass()          # cache populated: every request hits
     stats = service.cache.stats()
 
+    # Same loaded model, no cache at all: every request pays the forward,
+    # but the kernels are warm — the cacheless-throughput row.
+    nocache = InferenceService(
+        service.loaded,
+        ServiceConfig(max_batch_size=WORKLOAD["max_batch_size"],
+                      cache_size=0))
+    nocache.serve_windows(windows[:8], request_size=1)
+
+    def timed_nocache():
+        hist = nocache.engine.latency["encode"]
+        hist.reset()
+        start = time.perf_counter()
+        nocache.serve_windows(windows,
+                              request_size=WORKLOAD["request_size"])
+        elapsed = time.perf_counter() - start
+        return {"windows_per_s": WORKLOAD["windows"] / elapsed,
+                "elapsed_s": elapsed,
+                "p50_ms": hist.percentile(50),
+                "p95_ms": hist.percentile(95)}
+
+    warm_nocache = timed_nocache()
+
     return {
         "direct": {"windows_per_s": WORKLOAD["windows"] / direct_s,
                    "elapsed_s": direct_s},
         "cold": cold,
         "warm": warm,
+        "warm_nocache": warm_nocache,
         "cache": stats.as_dict(),
     }
 
@@ -189,12 +217,13 @@ def test_perf_serve(benchmark, tmp_path):
     report = {"workload": dict(WORKLOAD), **measured}
     if OUTPUT_PATH.is_file():
         previous = json.loads(OUTPUT_PATH.read_text())
-        if "overload" in previous:
-            report["overload"] = previous["overload"]
+        for section in ("overload", "compiled"):
+            if section in previous:
+                report[section] = previous[section]
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     print()
-    for key in ("direct", "cold", "warm"):
+    for key in ("direct", "cold", "warm", "warm_nocache"):
         entry = measured[key]
         line = f"{key}: {entry['windows_per_s']:.0f} windows/s"
         if "p50_ms" in entry:
@@ -206,13 +235,15 @@ def test_perf_serve(benchmark, tmp_path):
           f"({cache['hits']} hits / {cache['misses']} misses)")
     print(f"wrote {OUTPUT_PATH}")
 
-    for key in ("direct", "cold", "warm"):
+    for key in ("direct", "cold", "warm", "warm_nocache"):
         assert np.isfinite(measured[key]["windows_per_s"])
         assert measured[key]["windows_per_s"] > 0
     # Repeated-input workload must actually exercise the cache, and a
     # fully warm pass must beat the cold pass it replays.
     assert cache["hit_rate"] == 0.5
     assert measured["warm"]["elapsed_s"] < measured["cold"]["elapsed_s"]
+    # The cacheless replay pays every forward: cache hits must beat it.
+    assert measured["warm"]["elapsed_s"] < measured["warm_nocache"]["elapsed_s"]
 
 
 def test_perf_serve_overload(benchmark, tmp_path):

@@ -156,6 +156,61 @@ EXPERIMENTS = {
 }
 
 
+def _run_profile_inference(args) -> int:
+    """``repro profile --no-grad`` — profile the inference forward only.
+
+    ``--compiled [fp32|int8]`` profiles the packed hot path instead of
+    the fused autograd forward; its per-op rows (``packed.*``) line up
+    with the training profile's op names for side-by-side comparison
+    (see docs/inference.md).
+    """
+    import time
+
+    import numpy as np
+
+    from .core.config import TimeDRLConfig
+    from .core.model import TimeDRL
+    from .nn import no_grad, profiler, use_fused
+    from .utils.training import format_profile
+
+    model_config = TimeDRLConfig(seq_len=args.seq_len,
+                                 input_channels=args.channels, seed=args.seed)
+    model = TimeDRL(model_config)
+    model.eval()
+    rng = np.random.default_rng(args.seed)
+    batch = rng.standard_normal(
+        (args.batch_size, args.seq_len, args.channels)).astype(np.float32)
+    if args.compiled is not None:
+        from .compile import CompileOptions, compile_model
+
+        target, __ = compile_model(
+            model, CompileOptions(precision=args.compiled), calibration=batch)
+        label = f"compiled {target.kind}"
+        encode = target.encode
+    else:
+        label = ("reference (unfused)" if args.unfused else "fused") + " no_grad"
+
+        def encode(x):
+            with no_grad():
+                return model.encode(x)
+
+    started = time.perf_counter()
+    with use_fused(not args.unfused), profiler.profile() as prof:
+        for __ in range(args.steps):
+            encode(batch)
+    elapsed = time.perf_counter() - started
+    console_log(f"profiled {args.steps} {label} encode passes "
+                f"(batch={args.batch_size}, T={args.seq_len}, "
+                f"C={args.channels}) in {elapsed:.3f}s")
+    stats = prof.snapshot()
+    console_log(format_profile(stats, sort_by=args.sort_by, limit=args.limit))
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(stats, indent=2) + "\n")
+        console_log(f"wrote {args.output}")
+    return 0
+
+
 def _run_profile(args) -> int:
     """``repro profile`` — op-level profile of a short pre-training run."""
     import numpy as np
@@ -165,6 +220,8 @@ def _run_profile(args) -> int:
     from .nn import use_fused
     from .utils.training import format_profile
 
+    if args.no_grad or args.compiled is not None:
+        return _run_profile_inference(args)
     model_config = TimeDRLConfig(seq_len=args.seq_len, input_channels=args.channels,
                                  seed=args.seed)
     train_config = PretrainConfig(epochs=1, batch_size=args.batch_size,
@@ -184,6 +241,84 @@ def _run_profile(args) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(json.dumps(result.profile, indent=2) + "\n")
         console_log(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro compile`` — checkpoint → packed (int8/fp32) serving artifact
+# ----------------------------------------------------------------------
+def _run_compile(args) -> int:
+    """``repro compile`` — quantize/distill a checkpoint into a compiled
+    artifact servable behind a registry alias (exit 4 when the measured
+    drift exceeds ``--max-abs-diff``)."""
+    from .checkpoint.manager import CheckpointError
+    from .compile import (
+        CompileError,
+        CompileOptions,
+        DistillConfig,
+        compile_checkpoint,
+    )
+
+    options = CompileOptions(
+        precision="fp32" if args.fp32 else "int8",
+        exact_gelu=True if args.exact_gelu else None,
+        error_budget=args.layer_error_budget)
+    distill = None
+    if args.distill:
+        distill = DistillConfig(
+            d_model=args.student_d_model,
+            num_layers=args.student_layers,
+            num_heads=args.student_heads,
+            epochs=args.distill_epochs,
+            batch_size=args.distill_batch_size,
+            learning_rate=args.distill_lr,
+            seed=args.seed)
+    try:
+        path, compiled, report = compile_checkpoint(
+            args.source, options,
+            calibrate=args.calibrate,
+            calibration_windows=args.windows,
+            distill=distill,
+            output=args.output,
+            run_root=str(args.run_root),
+            seed=args.seed,
+            log=console_log)
+    except (CompileError, CheckpointError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    console_log(f"compiled {compiled.kind} artifact: {path} "
+                f"({report['artifact_bytes']} bytes, "
+                f"fingerprint={compiled.fingerprint[:12]})")
+    console_log(f"quantized {report['quantized_layers']}/"
+                f"{report['total_layers']} linear layers "
+                f"(calibration: {report['calibration_windows']} windows)")
+    for decision in report["layers"]:
+        if not decision["quantized"]:
+            console_log(f"  kept fp32: {decision['name']} "
+                        f"({decision['reason']})")
+    diff = report.get("max_abs_diff")
+    if diff is not None:
+        console_log("max_abs_diff vs fp reference: "
+                    f"timestamp={diff['timestamp']:.3g} "
+                    f"instance={diff['instance']:.3g} "
+                    f"scores={diff['scores']:.3g}")
+    if report.get("distill_history"):
+        losses = ", ".join(f"{epoch['total']:.4f}"
+                           for epoch in report["distill_history"])
+        console_log(f"distillation loss per epoch: {losses}")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        console_log(f"wrote {args.report}")
+    if args.max_abs_diff > 0 and diff is not None:
+        worst = max(diff["timestamp"], diff["instance"])
+        if worst > args.max_abs_diff:
+            console_log(f"tolerance gate FAILED: embedding drift {worst:.3g} "
+                        f"> --max-abs-diff {args.max_abs_diff:.3g} "
+                        f"(artifact kept at {path} for inspection)")
+            return 4
+        console_log(f"tolerance gate passed: {worst:.3g} <= "
+                    f"{args.max_abs_diff:.3g}")
     return 0
 
 
@@ -1131,9 +1266,63 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--limit", type=int, default=25, help="max rows to print")
     prof.add_argument("--unfused", action="store_true",
                       help="profile the reference (unfused) kernels instead")
+    prof.add_argument("--no-grad", action="store_true",
+                      help="profile the inference (encode) forward instead "
+                           "of full training steps")
+    prof.add_argument("--compiled", nargs="?", const="fp32",
+                      choices=("fp32", "int8"), default=None,
+                      help="profile a compiled packed model instead of the "
+                           "autograd forward (implies --no-grad; default "
+                           "precision fp32)")
     prof.add_argument("--seed", type=int, default=0)
     prof.add_argument("--output", type=pathlib.Path, default=None,
                       help="write the raw op stats as JSON to this file")
+
+    comp = sub.add_parser(
+        "compile", help="compile a checkpoint into a packed (optionally "
+                        "int8-quantized / distilled) inference artifact "
+                        "servable via `repro serve` / `repro swap`")
+    comp.set_defaults(experiment="compile")
+    comp.add_argument("source",
+                      help="checkpoint file, checkpoint directory, or run id")
+    precision = comp.add_mutually_exclusive_group()
+    precision.add_argument("--int8", action="store_true", default=True,
+                           help="per-channel symmetric int8 weights "
+                                "(default)")
+    precision.add_argument("--fp32", action="store_true",
+                           help="packed fp32 (bit-identical exact mode)")
+    comp.add_argument("--distill", action="store_true",
+                      help="first distill into a narrower/shallower student "
+                           "on the calibration windows, then compile it")
+    comp.add_argument("--calibrate", default=None, metavar="SPEC",
+                      help="calibration data: 'synthetic[:N[:seed]]' or a "
+                           "window-store directory (default: synthetic "
+                           "windows matching the model geometry)")
+    comp.add_argument("--windows", type=int, default=64,
+                      help="calibration windows to materialize")
+    comp.add_argument("--exact-gelu", action="store_true",
+                      help="keep the exact erf GELU (and separate q/k/v "
+                           "GEMMs) even for int8 — slower, less drift")
+    comp.add_argument("--layer-error-budget", type=float, default=1.0,
+                      help="per-layer predicted output error above which a "
+                           "layer stays fp32")
+    comp.add_argument("--student-d-model", type=int, default=32)
+    comp.add_argument("--student-layers", type=int, default=1)
+    comp.add_argument("--student-heads", type=int, default=2)
+    comp.add_argument("--distill-epochs", type=int, default=3)
+    comp.add_argument("--distill-batch-size", type=int, default=32)
+    comp.add_argument("--distill-lr", type=float, default=1e-3)
+    comp.add_argument("--max-abs-diff", type=float, default=0.0,
+                      help="fail (exit 4) if the embedding drift vs the fp "
+                           "reference exceeds this (0 = report only)")
+    comp.add_argument("--seed", type=int, default=0)
+    comp.add_argument("--output", type=pathlib.Path, default=None,
+                      help="artifact path (default ./compiled-<kind>.npz)")
+    comp.add_argument("--report", type=pathlib.Path, default=None,
+                      help="write the JSON compile report here")
+    comp.add_argument("--run-root", type=pathlib.Path,
+                      default=_DEFAULT_RUN_ROOT,
+                      help="run directory root for run-id sources")
 
     pre = sub.add_parser(
         "pretrain", help="self-supervised pre-training through the "
@@ -1472,6 +1661,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "profile":
         return _run_profile(args)
+    if args.experiment == "compile":
+        return _run_compile(args)
     if args.experiment == "pretrain":
         return _run_pretrain_cmd(args)
     if args.experiment == "finetune":

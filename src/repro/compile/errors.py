@@ -1,0 +1,13 @@
+"""Errors raised by the compile pipeline and artifact format."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError", "CompiledArtifactError"]
+
+
+class CompileError(RuntimeError):
+    """A model could not be compiled (unsupported backbone, bad options)."""
+
+
+class CompiledArtifactError(CompileError):
+    """A compiled artifact is unreadable, corrupt, or version-mismatched."""

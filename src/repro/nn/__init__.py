@@ -8,6 +8,7 @@ optimizers.  Everything is seeded through explicit
 """
 
 from . import functional
+from . import inference
 from . import profiler
 from .attention import MultiHeadAttention, causal_mask
 from .functional import fused_enabled, use_fused
@@ -74,7 +75,7 @@ from .transformer import (
 )
 
 __all__ = [
-    "functional", "profiler", "use_fused", "fused_enabled",
+    "functional", "inference", "profiler", "use_fused", "fused_enabled",
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
     "concatenate", "stack", "where", "maximum", "minimum",
     "LoadResult", "Module", "ModuleList", "Parameter", "Sequential",

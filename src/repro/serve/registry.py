@@ -41,9 +41,14 @@ class ShapeMismatch(RegistryError):
 
 @dataclass
 class LoadedModel:
-    """One servable model plus the provenance the engine needs."""
+    """One servable model plus the provenance the engine needs.
 
-    model: TimeDRL
+    ``model`` is anything speaking the :class:`~repro.serve.api.
+    InferenceAPI` protocol with a ``config`` — a checkpoint-rebuilt
+    :class:`TimeDRL` or a :class:`~repro.compile.CompiledModel`.
+    """
+
+    model: object
     fingerprint: str
     config: TimeDRLConfig
     meta: dict = field(default_factory=dict)
@@ -118,7 +123,7 @@ class ModelRegistry:
                 f"known: {self.aliases() or 'none'}")
         return loaded
 
-    def register(self, alias: str, model: TimeDRL, fingerprint: str,
+    def register(self, alias: str, model, fingerprint: str,
                  meta: dict | None = None, source: str = "<memory>"
                  ) -> LoadedModel:
         """Adopt an already-built model (tests, benchmarks, notebooks)."""
@@ -158,17 +163,26 @@ class ModelRegistry:
         """Resolve ``source`` and pull the model into the warm pool.
 
         ``source`` may be a checkpoint file (``ckpt-*.npz``), a checkpoint
-        directory (the newest valid archive wins), or a telemetry run id /
-        run directory (its ``checkpoints/`` subdirectory is used).
+        directory (the newest valid archive wins), a telemetry run id /
+        run directory (its ``checkpoints/`` subdirectory is used), or a
+        compiled artifact (``repro compile`` output) — the latter is
+        checksum-verified and served through its packed fast path.
         """
         started = time.perf_counter()
         with obs_trace.span("registry.load", source=str(source)):
-            try:
-                state, meta, path = resolve_checkpoint_source(
-                    source, run_root=run_root)
-            except CheckpointError as error:
-                raise RegistryError(str(error)) from error
-            loaded = self._build(state, meta, str(path))
+            # Local import: repro.compile is optional machinery the
+            # plain checkpoint path never needs to pay for.
+            from ..compile.artifact import is_compiled_artifact
+
+            if is_compiled_artifact(source):
+                loaded = self._build_compiled(source)
+            else:
+                try:
+                    state, meta, path = resolve_checkpoint_source(
+                        source, run_root=run_root)
+                except CheckpointError as error:
+                    raise RegistryError(str(error)) from error
+                loaded = self._build(state, meta, str(path))
         with self._lock:
             self._pool[alias or str(source)] = loaded
         registry = get_registry()
@@ -182,6 +196,21 @@ class ModelRegistry:
                            text=f"serve: loaded {loaded.source} "
                                 f"fingerprint={loaded.fingerprint[:12]}")
         return loaded
+
+    def _build_compiled(self, source) -> LoadedModel:
+        from ..compile.artifact import load_compiled
+        from ..compile.errors import CompileError
+
+        try:
+            compiled = load_compiled(source)
+        except CompileError as error:
+            raise RegistryError(str(error)) from error
+        get_registry().counter(
+            "serve_compiled_loads_total",
+            "Compiled artifacts pulled into the warm pool").inc()
+        return LoadedModel(model=compiled, fingerprint=compiled.fingerprint,
+                           config=compiled.config, meta=compiled.meta,
+                           source=str(source))
 
     def _build(self, state, meta: dict, source: str) -> LoadedModel:
         model_config = meta.get("model_config")

@@ -255,6 +255,44 @@ class TrainSession:
         self.last_result = result
         return result
 
+    def distill(self, windows, student=None,
+                options: TrainOptions | None = None):
+        """Distill the session's model into a narrower/shallower student
+        (:func:`repro.compile.run_distillation`).
+
+        ``windows`` is a raw ``(N, T, C)`` batch; ``student`` is a
+        :class:`~repro.compile.DistillConfig`, a dict of its fields, or
+        ``None`` for the defaults.  Session/per-call ``options`` supply
+        epochs, batch size, learning rate, and seed when set.
+        """
+        from ..compile.distill import DistillConfig, run_distillation
+
+        if self.model is None:
+            raise ValueError(
+                "distill requires a pretrained model; call pretrain() or "
+                "open the session with from_checkpoint()")
+        opts = self._opts(options)
+        if student is None:
+            config = DistillConfig()
+        elif isinstance(student, dict):
+            config = DistillConfig(**student)
+        else:
+            config = student
+        overrides = {}
+        if opts.epochs is not None:
+            overrides["epochs"] = opts.epochs
+        if opts.batch_size is not None:
+            overrides["batch_size"] = opts.batch_size
+        if opts.learning_rate is not None:
+            overrides["learning_rate"] = opts.learning_rate
+        if opts.seed:
+            overrides["seed"] = opts.seed
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        result = run_distillation(self.model, windows, config=config)
+        self.last_result = result
+        return result
+
 
 def _infer_task(data) -> str:
     from ..data.datasets import ClassificationData, ForecastingData

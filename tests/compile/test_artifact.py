@@ -1,0 +1,111 @@
+"""Artifact integrity: round-trip, fingerprints, corruption rejection."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    COMPILED_FORMAT_VERSION,
+    COMPILED_MAGIC,
+    CompileOptions,
+    CompiledArtifactError,
+    compile_model,
+    is_compiled_artifact,
+    load_compiled,
+    save_compiled,
+)
+
+
+@pytest.fixture
+def artifact(tmp_path, model, windows):
+    compiled, __ = compile_model(model, CompileOptions("int8"),
+                                 calibration=windows[:16])
+    return save_compiled(tmp_path / "model.npz", compiled), compiled
+
+
+def _rewrite(path, mutate):
+    """Round-trip the npz through ``mutate(arrays, meta)`` keeping the
+    zip container valid — exercises the digest check, not zlib's CRC."""
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(arrays.pop("__meta__").tobytes()).decode())
+    mutate(arrays, meta)
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    path.write_bytes(buffer.getvalue())
+
+
+class TestRoundTrip:
+    def test_bit_identical_after_reload(self, artifact, windows):
+        path, compiled = artifact
+        reloaded = load_compiled(path)
+        ref_t, ref_i = compiled.encode(windows[:8])
+        got_t, got_i = reloaded.encode(windows[:8])
+        np.testing.assert_array_equal(ref_t, got_t)
+        np.testing.assert_array_equal(ref_i, got_i)
+        np.testing.assert_array_equal(compiled.predict(windows[:8]),
+                                      reloaded.predict(windows[:8]))
+
+    def test_fingerprint_stable_and_meaningful(self, artifact):
+        path, compiled = artifact
+        reloaded = load_compiled(path)
+        assert reloaded.fingerprint == compiled.fingerprint
+        assert len(reloaded.fingerprint) == 64   # sha256 hex
+        assert reloaded.kind == compiled.kind == "int8"
+        assert reloaded.meta["artifact"] == COMPILED_MAGIC
+        assert reloaded.meta["format_version"] == COMPILED_FORMAT_VERSION
+
+    def test_sniff(self, artifact, tmp_path, checkpoint_dir):
+        path, __ = artifact
+        assert is_compiled_artifact(path)
+        assert not is_compiled_artifact(tmp_path / "missing.npz")
+        assert not is_compiled_artifact(checkpoint_dir)
+        ckpts = sorted(checkpoint_dir.glob("ckpt-*.npz"))
+        assert ckpts and not is_compiled_artifact(ckpts[0])
+
+
+class TestCorruption:
+    def test_tampered_array_fails_digest(self, artifact):
+        path, __ = artifact
+
+        def flip_weight(arrays, meta):
+            arrays["head.bias"] = arrays["head.bias"] + np.float32(1e-3)
+
+        _rewrite(path, flip_weight)
+        with pytest.raises(CompiledArtifactError, match="digest mismatch"):
+            load_compiled(path)
+
+    def test_byte_flip_rejected(self, artifact):
+        path, __ = artifact
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CompiledArtifactError):
+            load_compiled(path)
+
+    def test_wrong_magic_rejected(self, artifact):
+        path, __ = artifact
+        _rewrite(path, lambda arrays, meta:
+                 meta.update(artifact="not-a-compiled-artifact"))
+        with pytest.raises(CompiledArtifactError, match="not a compiled"):
+            load_compiled(path)
+
+    def test_future_version_rejected(self, artifact):
+        path, __ = artifact
+        _rewrite(path, lambda arrays, meta:
+                 meta.update(format_version=COMPILED_FORMAT_VERSION + 1))
+        with pytest.raises(CompiledArtifactError, match="format version"):
+            load_compiled(path)
+
+    def test_truncated_file_rejected(self, artifact):
+        path, __ = artifact
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CompiledArtifactError, match="unreadable"):
+            load_compiled(path)

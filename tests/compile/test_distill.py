@@ -1,0 +1,101 @@
+"""Distillation: student geometry, convergence, and embedding fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    CompileError,
+    CompileOptions,
+    DistillConfig,
+    StudentModel,
+    compile_model,
+    run_distillation,
+)
+from repro.train import TrainOptions, TrainSession
+
+from .conftest import small_config
+
+STUDENT = DistillConfig(d_model=16, num_layers=1, num_heads=2,
+                        epochs=2, batch_size=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def distilled(model, windows):
+    return run_distillation(model, windows, config=STUDENT)
+
+
+class TestStudent:
+    def test_student_geometry(self, distilled, model):
+        student = distilled.model
+        assert student.config.d_model == 16
+        assert student.config.num_layers == 1
+        # data geometry is inherited from the teacher
+        assert student.config.seq_len == model.config.seq_len
+        assert student.config.patch_len == model.config.patch_len
+
+    def test_student_serves_teacher_shapes(self, distilled, model, windows):
+        ref_t, ref_i = model.encode(windows[:4])
+        got_t, got_i = distilled.model.encode(windows[:4])
+        assert got_t.shape == ref_t.shape
+        assert got_i.shape == ref_i.shape
+        assert distilled.model.predict(windows[:4]).shape == \
+            model.predict(windows[:4]).shape
+
+    def test_loss_decreases(self, distilled):
+        history = distilled.history
+        assert len(history) == STUDENT.epochs
+        assert history[-1]["total"] < history[0]["total"]
+
+    def test_frozen_head_excluded_from_training(self, distilled):
+        student = distilled.model
+        trainable = {id(p) for p in student.trainable_parameters()}
+        head = {id(p) for p in student.predictive_head.parameters()}
+        assert not trainable & head
+        assert trainable   # the encoder + projections do train
+
+    def test_bad_student_config_rejected(self, model):
+        with pytest.raises(CompileError, match="divisible"):
+            DistillConfig(d_model=16, num_heads=3).student_config(
+                model.config)
+
+
+class TestStudentCompiles:
+    def test_fp32_compile_bit_identical_to_student(self, distilled, windows):
+        compiled, report = compile_model(distilled.model,
+                                         CompileOptions("fp32"),
+                                         calibration=windows[:16])
+        assert compiled.distilled
+        assert compiled.kind == "student-fp32"
+        ref_t, ref_i = distilled.model.encode(windows[:8])
+        got_t, got_i = compiled.encode(windows[:8])
+        np.testing.assert_array_equal(ref_t, got_t)
+        np.testing.assert_array_equal(ref_i, got_i)
+        assert report["max_abs_diff"]["timestamp"] == 0.0
+
+    def test_int8_student_within_tolerance(self, distilled, windows):
+        compiled, report = compile_model(distilled.model,
+                                         CompileOptions("int8"),
+                                         calibration=windows)
+        assert compiled.kind == "student-int8"
+        assert report["max_abs_diff"]["timestamp"] < 1.0
+        # projections are quantizable layers too
+        names = [d["name"] for d in report["layers"]]
+        assert "patch_proj" in names and "inst_proj" in names
+
+
+class TestSessionDistill:
+    def test_session_drives_distillation(self, model, windows):
+        session = TrainSession(model.config, model=model)
+        result = session.distill(
+            windows, student={"d_model": 16, "num_heads": 2},
+            options=TrainOptions(epochs=1, batch_size=16))
+        assert len(result.history) == 1
+        assert session.last_result is result
+        assert isinstance(result.model, StudentModel)
+
+    def test_requires_pretrained_model(self, windows):
+        session = TrainSession(small_config())
+        with pytest.raises(ValueError, match="pretrained model"):
+            session.distill(windows)

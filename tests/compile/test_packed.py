@@ -1,0 +1,125 @@
+"""Packed-forward equivalence: the tentpole bit-identity guarantees.
+
+The fp32 exact-mode compiled path must reproduce the fused no-grad
+forward *bit for bit* — same BLAS calls in the same shapes, same fused
+elementwise expressions — across every pooling method, channel
+independence, the causal-decoder ablation backbone, and non-default
+patch geometry.  Fast mode (tanh GELU + fused q/k/v GEMM) trades that
+for speed under a declared tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    COMPILABLE_BACKBONES,
+    CompileError,
+    CompileOptions,
+    compile_model,
+)
+from repro.core import TimeDRLConfig, TimeDRL
+
+from .conftest import CHANNELS, SEQ_LEN, small_config
+
+
+def _fresh(config: TimeDRLConfig) -> TimeDRL:
+    return TimeDRL(config).eval()
+
+
+def assert_bit_identical(model, compiled, x):
+    ref_t, ref_i = model.encode(x)
+    got_t, got_i = compiled.encode(x)
+    np.testing.assert_array_equal(ref_t, got_t)
+    np.testing.assert_array_equal(ref_i, got_i)
+    np.testing.assert_array_equal(model.predict(x), compiled.predict(x))
+
+
+class TestExactMode:
+    @pytest.mark.parametrize("pooling", ["cls", "last", "gap", "all"])
+    def test_bit_identical_across_pooling(self, windows, pooling):
+        model = _fresh(small_config(pooling=pooling))
+        compiled, report = compile_model(model, CompileOptions("fp32"),
+                                         calibration=windows[:16])
+        assert_bit_identical(model, compiled, windows[:8])
+        assert report["max_abs_diff"] == {
+            "timestamp": 0.0, "instance": 0.0, "scores": 0.0}
+
+    def test_bit_identical_channel_independent(self, windows):
+        model = _fresh(small_config(channel_independence=True))
+        compiled, __ = compile_model(model, CompileOptions("fp32"))
+        assert_bit_identical(model, compiled, windows[:8])
+
+    def test_bit_identical_causal_decoder(self, windows):
+        model = _fresh(small_config(backbone="transformer_decoder"))
+        compiled, __ = compile_model(model, CompileOptions("fp32"))
+        assert_bit_identical(model, compiled, windows[:8])
+
+    def test_bit_identical_nondefault_patching(self):
+        config = small_config(seq_len=96, patch_len=16, stride=8,
+                              num_layers=2)
+        model = _fresh(config)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((6, 96, CHANNELS)).astype(np.float32)
+        compiled, __ = compile_model(model, CompileOptions("fp32"))
+        assert_bit_identical(model, compiled, x)
+
+    def test_trained_weights_bit_identical(self, model, windows):
+        compiled, __ = compile_model(model, CompileOptions("fp32"),
+                                     calibration=windows[:16])
+        assert_bit_identical(model, compiled, windows)
+
+
+class TestFastMode:
+    def test_fused_qkv_tanh_gelu_within_tolerance(self, model, windows):
+        options = CompileOptions("fp32", exact_gelu=False, fuse_qkv=True)
+        compiled, __ = compile_model(model, options)
+        ref_t, ref_i = model.encode(windows)
+        got_t, got_i = compiled.encode(windows)
+        # tanh-GELU approximation error dominates; ~1e-3 in practice.
+        assert np.abs(ref_t - got_t).max() < 1e-2
+        assert np.abs(ref_i - got_i).max() < 1e-2
+
+    def test_int8_within_declared_tolerance(self, model, windows):
+        compiled, report = compile_model(model, CompileOptions("int8"),
+                                         calibration=windows)
+        diff = report["max_abs_diff"]
+        assert 0 < diff["timestamp"] < 0.5
+        assert 0 < diff["instance"] < 0.5
+        # the report is the measurement the serve gate replays
+        ref_t, __ = model.encode(windows)
+        got_t, __ = compiled.encode(windows)
+        assert np.abs(ref_t - got_t).max() == pytest.approx(
+            diff["timestamp"], rel=1e-6)
+
+    def test_int8_defaults_to_fast_mode(self, model):
+        compiled, report = compile_model(model, CompileOptions("int8"))
+        assert compiled.exact_gelu is False
+        assert report["fuse_qkv"] is True
+
+
+class TestValidation:
+    @pytest.mark.parametrize("backbone", ["lstm", "tcn"])
+    def test_noncompilable_backbone_rejected(self, backbone):
+        model = _fresh(small_config(backbone=backbone))
+        assert backbone not in COMPILABLE_BACKBONES
+        with pytest.raises(CompileError, match="not compilable"):
+            compile_model(model, CompileOptions("fp32"))
+
+    def test_bad_precision_rejected(self, model):
+        with pytest.raises(CompileError, match="precision"):
+            compile_model(model, CompileOptions(precision="fp16"))
+
+    def test_compiled_model_is_inference_only(self, model, windows):
+        compiled, __ = compile_model(model, CompileOptions("fp32"))
+        assert compiled.training is False
+        assert compiled.eval() is compiled
+        assert compiled.train(False) is compiled
+        with pytest.raises(CompileError, match="inference-only"):
+            compiled.train(True)
+
+    def test_rejects_wrong_rank_input(self, model):
+        compiled, __ = compile_model(model, CompileOptions("fp32"))
+        with pytest.raises(ValueError, match="B, T, C"):
+            compiled.encode(np.zeros((SEQ_LEN, CHANNELS), dtype=np.float32))
